@@ -1,0 +1,51 @@
+// Ablation: L1-miss detection latency (DESIGN.md §3).
+//
+// DWarn's detection moment is the L1 miss, which the front end learns ~5
+// cycles after the load is fetched on the baseline (+3 more on the deep
+// machine). This sweep adds extra detection delay: the later the Dmiss
+// classification, the more instructions a delinquent thread inserts at
+// full priority before DWarn (or DG) reacts — measuring how much of
+// DWarn's advantage comes from acting *early*.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/machine_config.hpp"
+
+int main() {
+  using namespace dwarn;
+  using namespace dwarn::benchutil;
+
+  const std::array<Cycle, 4> delays{0, 3, 10, 25};
+  const std::array<PolicyKind, 2> policies{PolicyKind::DWarn, PolicyKind::DG};
+  std::vector<WorkloadSpec> workloads{workload_by_name("4-MIX"),
+                                      workload_by_name("4-MEM"),
+                                      workload_by_name("8-MEM")};
+
+  print_banner(std::cout, "Ablation: extra L1-miss detection delay (throughput)");
+  for (const PolicyKind p : policies) {
+    std::vector<std::string> headers{"workload"};
+    for (const Cycle d : delays) headers.push_back("+" + std::to_string(d) + "cy");
+    ReportTable table(std::move(headers));
+    std::vector<MatrixResult> results;
+    for (const Cycle d : delays) {
+      const MachineBuilder machine = [d](std::size_t n) {
+        MachineConfig m = baseline_machine(n);
+        m.core.l1_detect_extra = d;
+        return m;
+      };
+      const ExperimentConfig cfg{};
+      const std::array<PolicyKind, 1> one{p};
+      results.push_back(run_matrix(machine, workloads, one, cfg));
+    }
+    std::cout << "\npolicy " << policy_name(p) << ":\n";
+    for (const auto& w : workloads) {
+      std::vector<std::string> row{w.name};
+      for (std::size_t i = 0; i < delays.size(); ++i) {
+        row.push_back(fmt(results[i].get(w.name, policy_name(p)).throughput, 2));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

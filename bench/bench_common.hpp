@@ -1,0 +1,114 @@
+// Shared helpers for the paper-figure bench harnesses.
+//
+// Every figure in the paper is either an absolute-metric bar chart per
+// (workload, policy) or a "DWarn improvement over policy X" chart grouped
+// by workload type. These helpers print both shapes as ASCII tables with
+// the same grouping/averaging the paper uses.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "sim/metrics.hpp"
+#include "sim/report.hpp"
+#include "sim/workload.hpp"
+
+namespace dwarn::benchutil {
+
+/// Metric extracted from one finished run (throughput, hmean, ...).
+using Metric = std::function<double(const SimResult&, const WorkloadSpec&)>;
+
+/// Metric: throughput (sum of IPCs).
+inline Metric throughput_metric() {
+  return [](const SimResult& r, const WorkloadSpec&) { return r.throughput; };
+}
+
+/// Metric: Hmean of relative IPCs against `solo` baselines.
+inline Metric hmean_metric(const SoloIpcMap& solo) {
+  return [&solo](const SimResult& r, const WorkloadSpec& w) {
+    return hmean_relative(r, w, solo);
+  };
+}
+
+/// Print a per-(workload, policy) absolute metric table (Figure 1(a) shape).
+inline void print_metric_table(std::ostream& os, const MatrixResult& matrix,
+                               std::span<const WorkloadSpec> workloads,
+                               std::span<const PolicyKind> policies,
+                               const Metric& metric, const std::string& metric_name) {
+  std::vector<std::string> headers{"workload"};
+  for (const PolicyKind p : policies) headers.emplace_back(policy_name(p));
+  ReportTable table(std::move(headers));
+  for (const auto& w : workloads) {
+    std::vector<std::string> row{w.name};
+    for (const PolicyKind p : policies) {
+      row.push_back(fmt(metric(matrix.get(w.name, policy_name(p)), w), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  os << metric_name << " per policy:\n";
+  table.print(os);
+}
+
+/// Print DWarn's relative improvement over every other policy, one row per
+/// workload plus per-type averages (Figure 1(b) / Figure 3 / Figure 4/5
+/// shape). Returns the per-policy grand averages keyed by policy name.
+inline std::map<std::string, double> print_improvement_table(
+    std::ostream& os, const MatrixResult& matrix,
+    std::span<const WorkloadSpec> workloads, std::span<const PolicyKind> policies,
+    const Metric& metric, const std::string& metric_name) {
+  std::vector<PolicyKind> others;
+  for (const PolicyKind p : policies) {
+    if (p != PolicyKind::DWarn) others.push_back(p);
+  }
+
+  std::vector<std::string> headers{"workload"};
+  for (const PolicyKind p : others) {
+    headers.push_back("DWarn/" + std::string(policy_name(p)));
+  }
+  ReportTable table(std::move(headers));
+
+  std::map<std::string, std::map<WorkloadType, std::vector<double>>> by_type;
+  for (const auto& w : workloads) {
+    const double ours = metric(matrix.get(w.name, "DWarn"), w);
+    std::vector<std::string> row{w.name};
+    for (const PolicyKind p : others) {
+      const double theirs = metric(matrix.get(w.name, policy_name(p)), w);
+      const double imp = improvement_pct(ours, theirs);
+      by_type[std::string(policy_name(p))][w.type].push_back(imp);
+      row.push_back(fmt_signed_pct(imp));
+    }
+    table.add_row(std::move(row));
+  }
+  // Per-type and grand averages (the paper's "avg" cluster).
+  std::map<std::string, double> grand;
+  for (const WorkloadType t : {WorkloadType::ILP, WorkloadType::MIX, WorkloadType::MEM}) {
+    std::vector<std::string> row{"avg-" + std::string(to_string(t))};
+    for (const PolicyKind p : others) {
+      const auto& v = by_type[std::string(policy_name(p))][t];
+      row.push_back(fmt_signed_pct(amean(v)));
+    }
+    table.add_row(std::move(row));
+  }
+  {
+    std::vector<std::string> row{"avg"};
+    for (const PolicyKind p : others) {
+      std::vector<double> all;
+      for (auto& [t, v] : by_type[std::string(policy_name(p))]) {
+        all.insert(all.end(), v.begin(), v.end());
+      }
+      const double g = amean(all);
+      grand[std::string(policy_name(p))] = g;
+      row.push_back(fmt_signed_pct(g));
+    }
+    table.add_row(std::move(row));
+  }
+  os << "DWarn " << metric_name << " improvement over each policy:\n";
+  table.print(os);
+  return grand;
+}
+
+}  // namespace dwarn::benchutil

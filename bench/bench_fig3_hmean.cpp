@@ -1,0 +1,39 @@
+// Reproduces paper Figure 3: Hmean (harmonic mean of relative IPCs,
+// Luo et al.) improvement of DWarn over the other five policies on the
+// baseline machine. Relative-IPC denominators are single-thread runs of
+// each benchmark on the same machine.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/machine_config.hpp"
+
+int main() {
+  using namespace dwarn;
+  using namespace dwarn::benchutil;
+
+  const ExperimentConfig cfg{};
+  const auto& workloads = paper_workloads();
+  const MachineBuilder machine = [](std::size_t n) { return baseline_machine(n); };
+
+  const SoloIpcMap solo = solo_baselines(machine, workloads, cfg);
+  const MatrixResult matrix = run_matrix(machine, workloads, kPaperPolicies, cfg);
+
+  print_banner(std::cout, "single-thread baseline IPCs (relative-IPC denominators)");
+  {
+    ReportTable t({"benchmark", "solo IPC"});
+    for (const auto& [b, ipc] : solo) {
+      t.add_row({std::string(profile_of(b).name), fmt(ipc, 2)});
+    }
+    t.print(std::cout);
+  }
+
+  print_banner(std::cout, "Figure 3: Hmean improvement of DWarn over the other policies");
+  print_metric_table(std::cout, matrix, workloads, kPaperPolicies, hmean_metric(solo),
+                     "Hmean of relative IPCs");
+  std::cout << '\n';
+  print_improvement_table(std::cout, matrix, workloads, kPaperPolicies,
+                          hmean_metric(solo), "Hmean");
+  std::cout << "\npaper reference (MIX+MEM avg): +13% over ICOUNT, +5% over STALL, +3% over\n"
+               "FLUSH (-2% on MEM), +11% over DG, +36% over PDG\n";
+  return 0;
+}

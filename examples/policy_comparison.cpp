@@ -1,0 +1,80 @@
+// Compare every implemented I-fetch policy — the paper's six plus the
+// extra comparators (round-robin, DC-PRED, DWarn ablation variants) — on
+// one workload, reporting throughput, Hmean of relative IPCs, weighted
+// speedup and flush overhead.
+//
+// Usage: policy_comparison [workload]        (default: 4-MIX)
+//   e.g.  policy_comparison 8-MEM
+#include <iostream>
+
+#include "sim/experiment.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/report.hpp"
+
+namespace {
+
+// Paper Table 1: the detection-moment x response-action taxonomy.
+void print_taxonomy(std::ostream& os) {
+  using namespace dwarn;
+  print_banner(os, "Table 1: detection moment x response action");
+  ReportTable t({"policy", "detection moment", "response action"});
+  t.add_row({"ICOUNT", "-", "- (queue-occupancy priority only)"});
+  t.add_row({"DG", "L1 miss", "GATE"});
+  t.add_row({"PDG", "FETCH (L1-miss predictor)", "GATE"});
+  t.add_row({"STALL", "X cycles after load issue", "GATE"});
+  t.add_row({"FLUSH", "X cycles after load issue", "SQUASH + GATE"});
+  t.add_row({"DC-PRED", "FETCH (L2-miss predictor)", "LIMIT RESOURCES"});
+  t.add_row({"DWarn", "L1 miss", "REDUCE PRIORITY (+GATE when <3 threads)"});
+  t.print(os);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dwarn;
+
+  print_taxonomy(std::cout);
+
+  const WorkloadSpec& workload = workload_by_name(argc > 1 ? argv[1] : "4-MIX");
+  const ExperimentConfig cfg{};
+  const MachineBuilder machine = [](std::size_t n) { return baseline_machine(n); };
+
+  const std::array<PolicyKind, 10> policies{
+      PolicyKind::RoundRobin, PolicyKind::ICount,     PolicyKind::Stall,
+      PolicyKind::Flush,      PolicyKind::DG,         PolicyKind::PDG,
+      PolicyKind::DCPred,     PolicyKind::DWarnBasic, PolicyKind::DWarn,
+      PolicyKind::DWarnGateAlways};
+
+  std::cout << "\nRunning " << policies.size() << " policies on " << workload.name
+            << " (" << workload.num_threads() << " threads)...\n";
+
+  const std::array<WorkloadSpec, 1> ws{workload};
+  const SoloIpcMap solo = solo_baselines(machine, ws, cfg);
+  const MatrixResult matrix = run_matrix(machine, ws, policies, cfg);
+
+  print_banner(std::cout, "policy comparison on " + workload.name);
+  ReportTable t({"policy", "throughput", "Hmean", "wspeedup", "flushed %"});
+  for (const PolicyKind p : policies) {
+    const SimResult& r = matrix.get(workload.name, policy_name(p));
+    t.add_row({std::string(policy_name(p)), fmt(r.throughput, 2),
+               fmt(hmean_relative(r, workload, solo), 3),
+               fmt(weighted_speedup(r, workload, solo), 3),
+               fmt(r.flushed_frac * 100.0, 1)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nPer-thread relative IPCs (thread order = workload order):\n";
+  ReportTable rt([&] {
+    std::vector<std::string> h{"policy"};
+    for (const auto b : workload.benchmarks) h.emplace_back(profile_of(b).name);
+    return h;
+  }());
+  for (const PolicyKind p : policies) {
+    const SimResult& r = matrix.get(workload.name, policy_name(p));
+    std::vector<std::string> row{std::string(policy_name(p))};
+    for (const double v : relative_ipcs(r, workload, solo)) row.push_back(fmt(v, 2));
+    rt.add_row(std::move(row));
+  }
+  rt.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: simulate the paper's 4-MIX workload under the DWarn fetch
+// policy on the baseline machine and print per-thread IPCs.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/experiment.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/report.hpp"
+#include "sim/simulator.hpp"
+#include "sim/workload.hpp"
+
+int main() {
+  using namespace dwarn;
+
+  // Workload and policy are overridable: SMT_WORKLOAD (e.g. "8-MEM") and
+  // SMT_POLICY (e.g. "FLUSH") — handy for quick what-if runs.
+  const char* wname = std::getenv("SMT_WORKLOAD");
+  const WorkloadSpec& workload = workload_by_name(wname != nullptr ? wname : "4-MIX");
+  PolicyKind policy = PolicyKind::DWarn;
+  if (const char* pname = std::getenv("SMT_POLICY")) {
+    const auto parsed = policy_from_name(pname);
+    if (parsed) policy = *parsed;
+  }
+  const MachineConfig machine = baseline_machine(workload.num_threads());
+
+  RunLength len = RunLength::from_env();
+  std::cout << "Simulating " << workload.name << " (" << workload.num_threads()
+            << " threads) under " << policy_name(policy) << " on the " << machine.name
+            << " machine, " << len.measure_insts << " instructions after "
+            << len.warmup_insts << " warm-up...\n";
+
+  const SimResult res = run_simulation(machine, workload, policy, len);
+
+  ReportTable table({"context", "benchmark", "IPC"});
+  for (std::size_t t = 0; t < workload.num_threads(); ++t) {
+    table.add_row({"t" + std::to_string(t),
+                   std::string(profile_of(workload.benchmarks[t]).name),
+                   fmt(res.thread_ipc[t])});
+  }
+  table.print(std::cout);
+  std::cout << "throughput (sum of IPCs): " << fmt(res.throughput) << "\n";
+  std::cout << "cycles simulated:         " << res.cycles << "\n";
+
+  // Optional deep-dive: SMT_DUMP_COUNTERS=1 prints every raw counter.
+  if (std::getenv("SMT_DUMP_COUNTERS") != nullptr) {
+    for (const auto& [name, value] : res.counters) {
+      std::cout << "  " << name << " = " << value << "\n";
+    }
+  }
+  return 0;
+}

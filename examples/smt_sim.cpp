@@ -1,0 +1,147 @@
+// smt_sim — the command-line front end to the whole simulator.
+//
+// Runs any (machine, workload, policy) combination with explicit run
+// lengths and seed, printing per-thread IPCs and optionally every raw
+// counter. This is the tool a downstream user scripts against.
+//
+// Usage:
+//   smt_sim [--machine baseline|small|deep] [--workload NAME | --solo BENCH]
+//           [--policy NAME] [--insts N] [--warmup N] [--seed N]
+//           [--dg-threshold N] [--dcpred-limit N] [--dump] [--list] [--help]
+//
+// Examples:
+//   smt_sim --workload 8-MEM --policy FLUSH --insts 1000000
+//   smt_sim --solo mcf --dump
+//   smt_sim --machine deep --workload 4-MIX --policy DWarn --seed 3
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sim/machine_config.hpp"
+#include "sim/report.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace dwarn;
+
+void print_usage(std::ostream& os) {
+  os << "usage: smt_sim [options]\n"
+        "  --machine M     baseline | small | deep        (default baseline)\n"
+        "  --workload W    2-ILP .. 8-MEM (Table 2b)      (default 4-MIX)\n"
+        "  --solo B        single benchmark instead of a workload\n"
+        "  --policy P      ICOUNT RR STALL FLUSH DG PDG DWarn DWarn-basic\n"
+        "                  DWarn-gate DC-PRED              (default DWarn)\n"
+        "  --insts N       measured instructions           (default 400000)\n"
+        "  --warmup N      warm-up instructions            (default 100000)\n"
+        "  --seed N        workload seed                   (default 1)\n"
+        "  --dg-threshold N / --dcpred-limit N   policy tunables\n"
+        "  --dump          print every raw counter\n"
+        "  --list          list workloads, benchmarks and policies\n";
+}
+
+void print_lists() {
+  std::cout << "workloads:";
+  for (const auto& w : paper_workloads()) std::cout << ' ' << w.name;
+  std::cout << "\nbenchmarks:";
+  for (const auto& p : all_profiles()) std::cout << ' ' << p.name;
+  std::cout << "\npolicies: ICOUNT RR STALL FLUSH DG PDG DWarn DWarn-basic "
+               "DWarn-gate DC-PRED\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string machine_name = "baseline";
+  std::string workload_name = "4-MIX";
+  std::string solo_name;
+  std::string policy_name_s = "DWarn";
+  RunLength len = RunLength::from_env();
+  std::uint64_t seed = 1;
+  PolicyParams params;
+  bool dump = false;
+
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "missing value for " << argv[i] << "\n";
+      std::exit(1);
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--machine") == 0) machine_name = need_value(i);
+    else if (std::strcmp(a, "--workload") == 0) workload_name = need_value(i);
+    else if (std::strcmp(a, "--solo") == 0) solo_name = need_value(i);
+    else if (std::strcmp(a, "--policy") == 0) policy_name_s = need_value(i);
+    else if (std::strcmp(a, "--insts") == 0) len.measure_insts = std::strtoull(need_value(i), nullptr, 10);
+    else if (std::strcmp(a, "--warmup") == 0) len.warmup_insts = std::strtoull(need_value(i), nullptr, 10);
+    else if (std::strcmp(a, "--seed") == 0) seed = std::strtoull(need_value(i), nullptr, 10);
+    else if (std::strcmp(a, "--dg-threshold") == 0) params.dg_threshold = static_cast<unsigned>(std::strtoul(need_value(i), nullptr, 10));
+    else if (std::strcmp(a, "--dcpred-limit") == 0) params.dcpred_limit = static_cast<unsigned>(std::strtoul(need_value(i), nullptr, 10));
+    else if (std::strcmp(a, "--dump") == 0) dump = true;
+    else if (std::strcmp(a, "--list") == 0) { print_lists(); return 0; }
+    else if (std::strcmp(a, "--help") == 0) { print_usage(std::cout); return 0; }
+    else {
+      std::cerr << "unknown option '" << a << "'\n";
+      print_usage(std::cerr);
+      return 1;
+    }
+  }
+
+  const auto kind = policy_from_name(policy_name_s);
+  if (!kind) {
+    std::cerr << "unknown policy '" << policy_name_s << "' (try --list)\n";
+    return 1;
+  }
+
+  WorkloadSpec workload;
+  if (!solo_name.empty()) {
+    const auto b = benchmark_from_name(solo_name);
+    if (!b) {
+      std::cerr << "unknown benchmark '" << solo_name << "' (try --list)\n";
+      return 1;
+    }
+    workload = solo_workload(*b);
+  } else {
+    workload = workload_by_name(workload_name);
+  }
+
+  MachineConfig machine;
+  if (machine_name == "baseline") machine = baseline_machine(workload.num_threads());
+  else if (machine_name == "small") machine = small_machine(workload.num_threads());
+  else if (machine_name == "deep") machine = deep_machine(workload.num_threads());
+  else {
+    std::cerr << "unknown machine '" << machine_name << "'\n";
+    return 1;
+  }
+  if (machine_name == "small" && workload.num_threads() > 4) {
+    std::cerr << "the small machine has 4 contexts; " << workload.name << " needs "
+              << workload.num_threads() << "\n";
+    return 1;
+  }
+
+  const SimResult res = run_simulation(machine, workload, *kind, len, params, seed);
+
+  ReportTable t({"context", "benchmark", "IPC"});
+  for (std::size_t i = 0; i < workload.num_threads(); ++i) {
+    t.add_row({"t" + std::to_string(i),
+               std::string(profile_of(workload.benchmarks[i]).name),
+               fmt(res.thread_ipc[i], 3)});
+  }
+  print_banner(std::cout, workload.name + " under " + res.policy + " on " + res.machine);
+  t.print(std::cout);
+  std::cout << "throughput: " << fmt(res.throughput, 3) << " IPC over " << res.cycles
+            << " cycles";
+  if (res.flushed_frac > 0.0) {
+    std::cout << "  (flushed " << fmt(res.flushed_frac * 100.0, 1) << "% of fetched)";
+  }
+  std::cout << "\n";
+  if (dump) {
+    for (const auto& [name, value] : res.counters) {
+      std::cout << "  " << name << " = " << value << "\n";
+    }
+  }
+  return 0;
+}

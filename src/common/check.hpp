@@ -1,0 +1,24 @@
+// Lightweight invariant checking.
+//
+// DWARN_CHECK is active in every build type: simulator invariants (resource
+// conservation, pipeline ordering) are cheap relative to the model itself,
+// and silent corruption would invalidate experiment results. Failures
+// print the condition and abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dwarn::detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line) {
+  std::fprintf(stderr, "DWARN_CHECK failed: %s at %s:%d\n", cond, file, line);
+  std::abort();
+}
+}  // namespace dwarn::detail
+
+#define DWARN_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) [[unlikely]] {                                        \
+      ::dwarn::detail::check_failed(#cond, __FILE__, __LINE__);        \
+    }                                                                  \
+  } while (false)

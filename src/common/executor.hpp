@@ -1,0 +1,26 @@
+// Parallel experiment executor.
+//
+// A single simulation is inherently sequential (one global clock), but the
+// paper's evaluation is a matrix of independent runs: 6 policies x 12
+// workloads x 3 machines, plus single-thread baselines. ParallelExecutor
+// runs such independent jobs across hardware threads, which is where this
+// reproduction gets its HPC-style speedup.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace dwarn {
+
+/// Run `jobs[i]()` for every i on up to `max_workers` std::threads
+/// (default: hardware concurrency). Blocks until all jobs complete.
+/// Exceptions thrown by jobs propagate: the first one observed is rethrown
+/// after all workers join.
+void run_parallel(std::vector<std::function<void()>> jobs, std::size_t max_workers = 0);
+
+/// Convenience: parallel-for over [0, n) with a chunk-free dynamic schedule.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t max_workers = 0);
+
+}  // namespace dwarn

@@ -1,0 +1,98 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in the synthetic workload substrate draws from a
+// SplitMix64-seeded xoshiro256** stream owned by the component that needs
+// it. Seeds derive from (workload seed, thread id, purpose tag) so runs are
+// reproducible and independent streams do not correlate.
+#pragma once
+
+#include <cstdint>
+#include <array>
+
+namespace dwarn {
+
+/// SplitMix64: used only to expand a user seed into xoshiro state.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (the public-domain splitmix64 recurrence).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64-bit value in the stream.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit generator (Blackman & Vigna,
+/// public domain). Sufficient statistical quality for workload synthesis.
+class Xoshiro256 {
+ public:
+  /// Seed via SplitMix64 expansion; a zero seed is remapped internally.
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed ^ 0xdeadbeefcafef00dULL);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  /// Next raw 64-bit value.
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be nonzero.
+  /// Uses Lemire's multiply-shift reduction; the modulo bias is negligible
+  /// for the bounds used here (all << 2^40).
+  constexpr std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  constexpr bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Geometric-ish draw: number of successes before failure with
+  /// continuation probability `p`, clamped to `max`.
+  constexpr std::uint64_t next_geometric(double p, std::uint64_t max) noexcept {
+    std::uint64_t n = 0;
+    while (n < max && next_bool(p)) ++n;
+    return n;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Derive a child seed from a parent seed and up to two tags. Used to give
+/// each thread/purpose its own independent stream.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t parent,
+                                                  std::uint64_t tag_a,
+                                                  std::uint64_t tag_b = 0) noexcept {
+  SplitMix64 sm(parent ^ (tag_a * 0x9e3779b97f4a7c15ULL) ^
+                (tag_b * 0xc2b2ae3d27d4eb4fULL));
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace dwarn

@@ -1,0 +1,13 @@
+#include "common/stats.hpp"
+
+#include <cstdio>
+
+namespace dwarn {
+
+std::string format_pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+}  // namespace dwarn

@@ -1,0 +1,124 @@
+// Statistics collection.
+//
+// Every pipeline stage, cache level and policy registers named counters in
+// a StatSet. A StatSet supports snapshot/reset so experiments can run a
+// cache/predictor warm-up phase and then measure a clean window — the
+// paper's trace methodology (300M-instruction SimPoint segments) likewise
+// measures steady-state behavior.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dwarn {
+
+/// A monotonically increasing event counter.
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram for distributions (e.g. fetch width per cycle,
+/// issue-queue occupancy). Bucket i counts samples equal to i; samples at
+/// or above `num_buckets` land in the final overflow bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t num_buckets = 0) : buckets_(num_buckets + 1, 0) {}
+
+  void sample(std::uint64_t v) noexcept {
+    const std::size_t i = (v >= buckets_.size() - 1) ? buckets_.size() - 1
+                                                     : static_cast<std::size_t>(v);
+    ++buckets_[i];
+    sum_ += v;
+    ++count_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+  void reset() noexcept {
+    for (auto& b : buckets_) b = 0;
+    sum_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t sum_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+/// Named counter registry. Components hold references to counters they
+/// create; the registry owns storage (stable addresses — std::map nodes).
+class StatSet {
+ public:
+  StatSet() = default;
+  StatSet(const StatSet&) = delete;
+  StatSet& operator=(const StatSet&) = delete;
+
+  /// Create-or-get a counter by hierarchical name (e.g. "l2.misses").
+  Counter& counter(const std::string& name) { return counters_[name]; }
+
+  /// Create-or-get a histogram; `buckets` only applies on first creation.
+  Histogram& histogram(const std::string& name, std::size_t buckets) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      it = histograms_.emplace(name, Histogram(buckets)).first;
+    }
+    return it->second;
+  }
+
+  /// Value of a counter, or 0 if it was never created.
+  [[nodiscard]] std::uint64_t value(const std::string& name) const noexcept {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+  }
+
+  /// Ratio of two counters; 0 when the denominator is 0.
+  [[nodiscard]] double ratio(const std::string& num, const std::string& den) const noexcept {
+    const auto d = value(den);
+    return d == 0 ? 0.0 : static_cast<double>(value(num)) / static_cast<double>(d);
+  }
+
+  /// Mean of a histogram, or 0 if it does not exist.
+  [[nodiscard]] double histogram_mean(const std::string& name) const noexcept {
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? 0.0 : it->second.mean();
+  }
+
+  /// Zero every counter and histogram (ends a warm-up window).
+  void reset_all() noexcept {
+    for (auto& [k, c] : counters_) c.reset();
+    for (auto& [k, h] : histograms_) h.reset();
+  }
+
+  /// Stable snapshot of all counter values (for reports and tests).
+  [[nodiscard]] std::map<std::string, std::uint64_t> snapshot() const {
+    std::map<std::string, std::uint64_t> out;
+    for (const auto& [k, c] : counters_) out.emplace(k, c.value());
+    return out;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Format helper: "a/b" as a percentage string with one decimal.
+[[nodiscard]] std::string format_pct(double fraction);
+
+}  // namespace dwarn

@@ -1,0 +1,104 @@
+// Fundamental scalar types and enums shared by every subsystem.
+//
+// The simulator is cycle-driven: `Cycle` is the global clock, `Addr` is a
+// 64-bit byte address, and `ThreadId` indexes a hardware context (the paper
+// evaluates 2..8 contexts; kMaxThreads bounds static per-context arrays).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+#include <string_view>
+
+namespace dwarn {
+
+using Cycle = std::uint64_t;
+using Addr = std::uint64_t;
+using InstSeq = std::uint64_t;  ///< Per-thread dynamic instruction sequence number.
+using ThreadId = std::uint8_t;  ///< Hardware context index, 0-based.
+
+/// Maximum number of hardware contexts any machine preset may configure.
+inline constexpr std::size_t kMaxThreads = 8;
+
+/// Sentinel for "no cycle scheduled yet".
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/// Sentinel invalid register index (architectural or physical).
+inline constexpr std::uint16_t kNoReg = std::numeric_limits<std::uint16_t>::max();
+
+/// Broad instruction classes; they determine which issue queue an
+/// instruction waits in and which functional-unit pool executes it.
+enum class InstClass : std::uint8_t {
+  IntAlu,    ///< single-cycle integer op
+  IntMul,    ///< multi-cycle integer op (multiply/divide)
+  FpAlu,     ///< pipelined floating-point op
+  Load,      ///< memory read; latency depends on the data-cache hierarchy
+  Store,     ///< memory write; address generation in the LS queue
+  Branch,    ///< conditional/unconditional control transfer
+};
+
+/// Number of distinct InstClass values (for per-class arrays).
+inline constexpr std::size_t kNumInstClasses = 6;
+
+/// Issue-queue / functional-unit grouping of instruction classes.
+enum class IssueClass : std::uint8_t {
+  Int,   ///< IntAlu, IntMul, Branch
+  Fp,    ///< FpAlu
+  LdSt,  ///< Load, Store
+};
+
+inline constexpr std::size_t kNumIssueClasses = 3;
+
+/// Map an instruction class to the queue/FU group it occupies.
+[[nodiscard]] constexpr IssueClass issue_class_of(InstClass c) noexcept {
+  switch (c) {
+    case InstClass::Load:
+    case InstClass::Store:
+      return IssueClass::LdSt;
+    case InstClass::FpAlu:
+      return IssueClass::Fp;
+    case InstClass::IntAlu:
+    case InstClass::IntMul:
+    case InstClass::Branch:
+    default:
+      return IssueClass::Int;
+  }
+}
+
+/// Register file an instruction's destination lives in.
+enum class RegClass : std::uint8_t { Int, Fp, None };
+
+/// Control-transfer subtype of a Branch instruction. Calls and returns
+/// exercise the return-address stack; conditional branches the gshare.
+enum class BranchKind : std::uint8_t {
+  None,    ///< not a branch
+  Cond,    ///< conditional direct branch
+  Uncond,  ///< unconditional direct jump
+  Call,    ///< direct call (pushes the RAS)
+  Return,  ///< return (pops the RAS)
+};
+
+/// Human-readable name of an instruction class (for traces and reports).
+[[nodiscard]] constexpr std::string_view to_string(InstClass c) noexcept {
+  switch (c) {
+    case InstClass::IntAlu: return "int";
+    case InstClass::IntMul: return "mul";
+    case InstClass::FpAlu: return "fp";
+    case InstClass::Load: return "load";
+    case InstClass::Store: return "store";
+    case InstClass::Branch: return "branch";
+  }
+  return "?";
+}
+
+/// Human-readable name of an issue class.
+[[nodiscard]] constexpr std::string_view to_string(IssueClass c) noexcept {
+  switch (c) {
+    case IssueClass::Int: return "int";
+    case IssueClass::Fp: return "fp";
+    case IssueClass::LdSt: return "ldst";
+  }
+  return "?";
+}
+
+}  // namespace dwarn

@@ -1,0 +1,55 @@
+// SMT core configuration (paper Table 3 shape).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace dwarn {
+
+/// Sizing and widths of the SMT pipeline. Defaults reproduce the paper's
+/// baseline: an 8-wide, 9-stage machine with an ICOUNT2.8-style fetch
+/// (2 threads asked per cycle, 8 instructions total), 32-entry issue
+/// queues, 6/3/4 functional units, 384+384 physical registers and a
+/// 256-entry per-thread reorder buffer.
+struct CoreConfig {
+  std::size_t num_threads = 4;
+
+  unsigned fetch_width = 8;    ///< Y of the X.Y fetch mechanism
+  unsigned fetch_threads = 2;  ///< X of the X.Y fetch mechanism
+  unsigned rename_width = 8;
+  unsigned issue_width = 8;
+  unsigned commit_width = 8;
+
+  /// Cycles between fetch and rename-eligibility. 4 gives the paper's
+  /// 9-stage pipe (fetch + 4 front-end stages + issue/execute/WB/commit)
+  /// and its "L1 miss known 5 cycles after fetch" property; the deep
+  /// 16-stage preset uses 11.
+  unsigned frontend_depth = 4;
+
+  /// Capacity of the *shared* in-order front-end (decode) buffer between
+  /// fetch and rename. Sized ~ frontend_depth x fetch_width so a full
+  /// fetch rate can be sustained.
+  unsigned frontend_buffer = 32;
+
+  /// Issue-queue entries by IssueClass order {Int, Fp, LdSt}.
+  std::array<unsigned, kNumIssueClasses> iq_capacity{32, 32, 32};
+
+  /// Functional units by IssueClass order {Int, Fp, LdSt}; fully pipelined,
+  /// so this is a per-class per-cycle issue limit.
+  std::array<unsigned, kNumIssueClasses> fu_count{6, 3, 4};
+
+  unsigned pregs_int = 384;
+  unsigned pregs_fp = 384;
+  unsigned rob_entries = 256;  ///< per thread
+
+  /// Additional delay before the front end learns of an L1 data miss
+  /// (the deep preset adds 3 cycles; paper §6).
+  Cycle l1_detect_extra = 0;
+
+  /// Fetch bubble after a branch-misprediction redirect.
+  Cycle redirect_penalty = 1;
+};
+
+}  // namespace dwarn

@@ -1,0 +1,44 @@
+// Per-context register rename map.
+//
+// Maps the 32+32 architectural registers of one hardware context to
+// physical registers. Recovery is walk-back: each DynInst records the
+// previous mapping of its destination, and a squash restores mappings
+// youngest-first (see SmtCore::squash_younger_than).
+#pragma once
+
+#include <array>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "trace/instruction.hpp"
+
+namespace dwarn {
+
+/// Architectural-to-physical mapping for one context.
+class RenameMap {
+ public:
+  RenameMap() {
+    int_map_.fill(kNoReg);
+    fp_map_.fill(kNoReg);
+  }
+
+  [[nodiscard]] std::uint16_t get(RegClass cls, std::uint8_t arch) const {
+    DWARN_CHECK(arch < kArchRegs);
+    return cls == RegClass::Fp ? fp_map_[arch] : int_map_[arch];
+  }
+
+  /// Install a new mapping; returns the previous physical register.
+  std::uint16_t set(RegClass cls, std::uint8_t arch, std::uint16_t phys) {
+    DWARN_CHECK(arch < kArchRegs);
+    auto& slot = cls == RegClass::Fp ? fp_map_[arch] : int_map_[arch];
+    const std::uint16_t old = slot;
+    slot = phys;
+    return old;
+  }
+
+ private:
+  std::array<std::uint16_t, kArchRegs> int_map_;
+  std::array<std::uint16_t, kArchRegs> fp_map_;
+};
+
+}  // namespace dwarn

@@ -1,0 +1,67 @@
+#include "policy/factory.hpp"
+
+#include "policy/data_gating.hpp"
+#include "policy/dcpred.hpp"
+#include "policy/dwarn.hpp"
+#include "policy/icount.hpp"
+#include "policy/stall_flush.hpp"
+
+namespace dwarn {
+
+std::unique_ptr<FetchPolicy> make_policy(PolicyKind kind, PolicyHost& host,
+                                         const PolicyParams& params) {
+  switch (kind) {
+    case PolicyKind::ICount:
+      return std::make_unique<ICountPolicy>(host);
+    case PolicyKind::RoundRobin:
+      return std::make_unique<RoundRobinPolicy>(host);
+    case PolicyKind::Stall:
+      return std::make_unique<StallPolicy>(host);
+    case PolicyKind::Flush:
+      return std::make_unique<FlushPolicy>(host);
+    case PolicyKind::DG:
+      return std::make_unique<DataGatingPolicy>(host, params.dg_threshold);
+    case PolicyKind::PDG:
+      return std::make_unique<PredictiveDataGatingPolicy>(host, params.pdg_threshold,
+                                                          params.predictor_entries);
+    case PolicyKind::DWarn:
+      return std::make_unique<DWarnPolicy>(host, DWarnMode::Hybrid,
+                                           params.dwarn_gate_thread_limit);
+    case PolicyKind::DWarnBasic:
+      return std::make_unique<DWarnPolicy>(host, DWarnMode::Basic);
+    case PolicyKind::DWarnGateAlways:
+      return std::make_unique<DWarnPolicy>(host, DWarnMode::GateAlways);
+    case PolicyKind::DCPred:
+      return std::make_unique<DcPredPolicy>(host, params.dcpred_limit,
+                                            params.predictor_entries);
+  }
+  return nullptr;
+}
+
+std::string_view policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::ICount: return "ICOUNT";
+    case PolicyKind::RoundRobin: return "RR";
+    case PolicyKind::Stall: return "STALL";
+    case PolicyKind::Flush: return "FLUSH";
+    case PolicyKind::DG: return "DG";
+    case PolicyKind::PDG: return "PDG";
+    case PolicyKind::DWarn: return "DWarn";
+    case PolicyKind::DWarnBasic: return "DWarn-basic";
+    case PolicyKind::DWarnGateAlways: return "DWarn-gate";
+    case PolicyKind::DCPred: return "DC-PRED";
+  }
+  return "?";
+}
+
+std::optional<PolicyKind> policy_from_name(std::string_view name) {
+  for (const PolicyKind k :
+       {PolicyKind::ICount, PolicyKind::RoundRobin, PolicyKind::Stall,
+        PolicyKind::Flush, PolicyKind::DG, PolicyKind::PDG, PolicyKind::DWarn,
+        PolicyKind::DWarnBasic, PolicyKind::DWarnGateAlways, PolicyKind::DCPred}) {
+    if (policy_name(k) == name) return k;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dwarn

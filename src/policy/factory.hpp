@@ -1,0 +1,53 @@
+// Fetch-policy factory: the one place that knows every policy.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "policy/fetch_policy.hpp"
+
+namespace dwarn {
+
+/// Every policy the harness can instantiate.
+enum class PolicyKind : std::uint8_t {
+  ICount,          ///< baseline ICOUNT (Tullsen, ISCA'96)
+  RoundRobin,      ///< reference strawman
+  Stall,           ///< Tullsen & Brown, MICRO'01
+  Flush,           ///< Tullsen & Brown, MICRO'01
+  DG,              ///< El-Moursy & Albonesi, HPCA'03
+  PDG,             ///< El-Moursy & Albonesi, HPCA'03
+  DWarn,           ///< this paper (hybrid mechanism)
+  DWarnBasic,      ///< ablation: priority reduction only
+  DWarnGateAlways, ///< ablation: gate on declared L2 miss at any thread count
+  DCPred,          ///< Limousin et al., ICS'01 (LIMIT RESOURCES comparator)
+};
+
+/// The six policies of the paper's evaluation (Figures 1-5, Table 4),
+/// in the paper's plotting order.
+inline constexpr std::array<PolicyKind, 6> kPaperPolicies = {
+    PolicyKind::ICount, PolicyKind::Stall, PolicyKind::Flush,
+    PolicyKind::DG,     PolicyKind::PDG,   PolicyKind::DWarn,
+};
+
+/// Tunables for the policies that have any.
+struct PolicyParams {
+  unsigned dg_threshold = 0;        ///< DG: misses tolerated before gating (paper: 0)
+  unsigned pdg_threshold = 0;       ///< PDG: same for predicted misses (paper: 0)
+  unsigned dcpred_limit = 16;       ///< DC-PRED: in-flight cap while limited
+  std::size_t predictor_entries = 4096;
+  std::size_t dwarn_gate_thread_limit = 2;  ///< hybrid gating active when <=N threads
+};
+
+/// Instantiate a policy bound to `host`.
+[[nodiscard]] std::unique_ptr<FetchPolicy> make_policy(PolicyKind kind, PolicyHost& host,
+                                                       const PolicyParams& params = {});
+
+/// Display name without instantiation ("DWarn", "ICOUNT", ...).
+[[nodiscard]] std::string_view policy_name(PolicyKind kind);
+
+/// Parse a policy by display name (case-sensitive); nullopt if unknown.
+[[nodiscard]] std::optional<PolicyKind> policy_from_name(std::string_view name);
+
+}  // namespace dwarn

@@ -1,0 +1,13 @@
+#include "policy/fetch_policy.hpp"
+
+#include <algorithm>
+
+namespace dwarn {
+
+void FetchPolicy::sort_by_icount(std::vector<ThreadId>& tids) const {
+  std::stable_sort(tids.begin(), tids.end(), [this](ThreadId a, ThreadId b) {
+    return host_.icount(a) < host_.icount(b);
+  });
+}
+
+}  // namespace dwarn

@@ -1,0 +1,88 @@
+#include "sim/experiment.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/executor.hpp"
+
+namespace dwarn {
+
+std::size_t ExperimentConfig::workers_from_env() {
+  if (const char* v = std::getenv("SMT_SIM_WORKERS")) {
+    const auto n = std::strtoull(v, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+const SimResult& MatrixResult::get(std::string_view workload,
+                                   std::string_view policy) const {
+  for (const auto& r : runs_) {
+    if (r.workload == workload && r.policy == policy) return r;
+  }
+  DWARN_CHECK(false && "no such (workload, policy) run");
+  return runs_.front();  // unreachable
+}
+
+MatrixResult run_matrix(const MachineBuilder& machine,
+                        std::span<const WorkloadSpec> workloads,
+                        std::span<const PolicyKind> policies,
+                        const ExperimentConfig& cfg) {
+  struct Cell {
+    const WorkloadSpec* w;
+    PolicyKind p;
+    SimResult result;
+  };
+  std::vector<Cell> cells;
+  for (const auto& w : workloads) {
+    for (const PolicyKind p : policies) cells.push_back(Cell{&w, p, {}});
+  }
+
+  const std::size_t workers =
+      cfg.workers != 0 ? cfg.workers : ExperimentConfig::workers_from_env();
+  parallel_for(
+      cells.size(),
+      [&](std::size_t i) {
+        Cell& c = cells[i];
+        c.result = run_simulation(machine(c.w->num_threads()), *c.w, c.p, cfg.len,
+                                  cfg.params, cfg.seed);
+      },
+      workers);
+
+  MatrixResult out;
+  for (auto& c : cells) out.add(std::move(c.result));
+  return out;
+}
+
+SoloIpcMap solo_baselines(const MachineBuilder& machine,
+                          std::span<const WorkloadSpec> workloads,
+                          const ExperimentConfig& cfg) {
+  std::set<Benchmark> benchmarks;
+  for (const auto& w : workloads) {
+    for (const Benchmark b : w.benchmarks) benchmarks.insert(b);
+  }
+  std::vector<Benchmark> list(benchmarks.begin(), benchmarks.end());
+
+  SoloIpcMap solo;
+  std::mutex mu;
+  const std::size_t workers =
+      cfg.workers != 0 ? cfg.workers : ExperimentConfig::workers_from_env();
+  parallel_for(
+      list.size(),
+      [&](std::size_t i) {
+        const Benchmark b = list[i];
+        const SimResult r = run_simulation(machine(1), solo_workload(b),
+                                           PolicyKind::ICount, cfg.len, cfg.params,
+                                           cfg.seed);
+        std::lock_guard<std::mutex> lock(mu);
+        solo.emplace(b, r.throughput);
+      },
+      workers);
+  return solo;
+}
+
+}  // namespace dwarn

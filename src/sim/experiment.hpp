@@ -1,0 +1,63 @@
+// Experiment-matrix runner.
+//
+// The paper's figures are matrices of independent runs (policies x
+// workloads, plus per-benchmark solo baselines). This module executes such
+// matrices across worker threads (the runs share nothing) and provides
+// indexed access to the results. Worker count honors SMT_SIM_WORKERS.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "policy/factory.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "sim/workload.hpp"
+
+namespace dwarn {
+
+/// Builds a machine sized for a given thread count ("baseline", "small",
+/// "deep" curried over their presets).
+using MachineBuilder = std::function<MachineConfig(std::size_t num_threads)>;
+
+/// Shared knobs of one experiment.
+struct ExperimentConfig {
+  RunLength len = RunLength::from_env();
+  PolicyParams params{};
+  std::uint64_t seed = 1;
+  std::size_t workers = 0;  ///< 0 = SMT_SIM_WORKERS or hardware concurrency
+
+  [[nodiscard]] static std::size_t workers_from_env();
+};
+
+/// Results of a (workload x policy) matrix with indexed lookup.
+class MatrixResult {
+ public:
+  void add(SimResult r) { runs_.push_back(std::move(r)); }
+
+  /// The run for (workload, policy); aborts if absent.
+  [[nodiscard]] const SimResult& get(std::string_view workload,
+                                     std::string_view policy) const;
+
+  [[nodiscard]] const std::vector<SimResult>& all() const { return runs_; }
+
+ private:
+  std::vector<SimResult> runs_;
+};
+
+/// Run every (workload, policy) combination in parallel.
+[[nodiscard]] MatrixResult run_matrix(const MachineBuilder& machine,
+                                      std::span<const WorkloadSpec> workloads,
+                                      std::span<const PolicyKind> policies,
+                                      const ExperimentConfig& cfg);
+
+/// Single-thread IPC of every benchmark appearing in `workloads`, run
+/// under ICOUNT on a 1-context instance of the machine. These are the
+/// relative-IPC denominators for the Hmean figures.
+[[nodiscard]] SoloIpcMap solo_baselines(const MachineBuilder& machine,
+                                        std::span<const WorkloadSpec> workloads,
+                                        const ExperimentConfig& cfg);
+
+}  // namespace dwarn

@@ -1,0 +1,55 @@
+#include "sim/metrics.hpp"
+
+#include "common/check.hpp"
+
+namespace dwarn {
+
+double hmean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double denom = 0.0;
+  for (const double x : xs) {
+    if (x <= 0.0) return 0.0;
+    denom += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / denom;
+}
+
+double amean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double improvement_pct(double ours, double theirs) {
+  if (theirs == 0.0) return 0.0;
+  return (ours / theirs - 1.0) * 100.0;
+}
+
+std::vector<double> relative_ipcs(const SimResult& res, const WorkloadSpec& workload,
+                                  const SoloIpcMap& solo) {
+  DWARN_CHECK(res.thread_ipc.size() == workload.num_threads());
+  std::vector<double> rel;
+  rel.reserve(res.thread_ipc.size());
+  for (std::size_t t = 0; t < res.thread_ipc.size(); ++t) {
+    const auto it = solo.find(workload.benchmarks[t]);
+    DWARN_CHECK(it != solo.end());
+    DWARN_CHECK(it->second > 0.0);
+    rel.push_back(res.thread_ipc[t] / it->second);
+  }
+  return rel;
+}
+
+double hmean_relative(const SimResult& res, const WorkloadSpec& workload,
+                      const SoloIpcMap& solo) {
+  const auto rel = relative_ipcs(res, workload, solo);
+  return hmean(rel);
+}
+
+double weighted_speedup(const SimResult& res, const WorkloadSpec& workload,
+                        const SoloIpcMap& solo) {
+  const auto rel = relative_ipcs(res, workload, solo);
+  return amean(rel);
+}
+
+}  // namespace dwarn

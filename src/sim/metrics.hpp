@@ -1,0 +1,48 @@
+// SMT performance metrics.
+//
+// The paper evaluates with two metrics (§5): throughput (the sum of the
+// co-scheduled threads' IPCs — efficient resource use) and the harmonic
+// mean of *relative* IPCs (Luo et al., ISPASS'01 — throughput/fairness
+// balance; a policy cannot look good by starving one thread). Relative IPC
+// of a thread is its IPC in the mix divided by its IPC running alone on
+// the same machine. Weighted speedup (Snavely & Tullsen) is provided as an
+// additional comparator.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/workload.hpp"
+
+namespace dwarn {
+
+/// Harmonic mean; 0 if any element is <= 0 or the span is empty.
+[[nodiscard]] double hmean(std::span<const double> xs);
+
+/// Arithmetic mean; 0 when empty.
+[[nodiscard]] double amean(std::span<const double> xs);
+
+/// Relative improvement of `ours` over `theirs` in percent.
+[[nodiscard]] double improvement_pct(double ours, double theirs);
+
+/// Per-benchmark single-thread IPC on a given machine (the relative-IPC
+/// denominators). Keyed by benchmark.
+using SoloIpcMap = std::map<Benchmark, double>;
+
+/// Relative IPC of every thread in a finished run: thread_ipc[i] divided
+/// by the solo IPC of the benchmark on context i.
+[[nodiscard]] std::vector<double> relative_ipcs(const SimResult& res,
+                                                const WorkloadSpec& workload,
+                                                const SoloIpcMap& solo);
+
+/// Hmean of the relative IPCs of a run.
+[[nodiscard]] double hmean_relative(const SimResult& res, const WorkloadSpec& workload,
+                                    const SoloIpcMap& solo);
+
+/// Weighted speedup: arithmetic mean of the relative IPCs.
+[[nodiscard]] double weighted_speedup(const SimResult& res, const WorkloadSpec& workload,
+                                      const SoloIpcMap& solo);
+
+}  // namespace dwarn

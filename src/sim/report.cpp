@@ -1,0 +1,60 @@
+#include "sim/report.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace dwarn {
+
+ReportTable::ReportTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void ReportTable::add_row(std::vector<std::string> cells) {
+  DWARN_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void ReportTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << " |\n";
+  };
+  print_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    for (std::size_t i = 0; i < widths[c] + 2; ++i) os << '-';
+    os << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_signed_pct(double pct) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", pct);
+  return buf;
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace dwarn

@@ -1,0 +1,41 @@
+// ASCII report tables for the bench harnesses.
+//
+// Every bench binary prints rows shaped like the paper's tables/figures;
+// this keeps the formatting in one place.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dwarn {
+
+/// Fixed-layout text table: set headers once, add stringly-typed rows,
+/// print with column auto-sizing.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers);
+
+  /// Append a row; it must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column separators and a header underline.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `decimals` places.
+[[nodiscard]] std::string fmt(double v, int decimals = 2);
+
+/// Format a percentage with sign (e.g. "+12.3%").
+[[nodiscard]] std::string fmt_signed_pct(double pct);
+
+/// Print a section banner ("== title ==").
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace dwarn

@@ -1,0 +1,118 @@
+#include "sim/simulator.hpp"
+
+#include <cstdlib>
+
+#include "common/rng.hpp"
+
+namespace dwarn {
+
+RunLength RunLength::from_env() {
+  RunLength len;
+  if (const char* v = std::getenv("SMT_SIM_INSTS")) {
+    len.measure_insts = std::strtoull(v, nullptr, 10);
+  }
+  if (const char* v = std::getenv("SMT_WARMUP_INSTS")) {
+    len.warmup_insts = std::strtoull(v, nullptr, 10);
+  }
+  return len;
+}
+
+Simulator::Simulator(const MachineConfig& machine, const WorkloadSpec& workload,
+                     PolicyKind policy, const PolicyParams& params, std::uint64_t seed)
+    : machine_(machine), workload_(workload) {
+  DWARN_CHECK(workload_.num_threads() >= 1);
+  machine_.core.num_threads = workload_.num_threads();
+
+  mem_ = std::make_unique<MemoryHierarchy>(machine_.mem, workload_.num_threads(), stats_);
+  bpred_ = std::make_unique<FrontEndPredictor>(machine_.bpred, workload_.num_threads(),
+                                               stats_);
+
+  std::vector<ThreadProgram> programs;
+  programs.reserve(workload_.num_threads());
+  for (std::size_t t = 0; t < workload_.num_threads(); ++t) {
+    const Benchmark b = workload_.benchmarks[t];
+    // Replicated instances of a benchmark get independent stream seeds
+    // (the paper shifts the second instance by 1M instructions instead).
+    std::size_t instance = 0;
+    for (std::size_t u = 0; u < t; ++u) {
+      if (workload_.benchmarks[u] == b) ++instance;
+    }
+    const std::uint64_t tseed =
+        derive_seed(seed, static_cast<std::uint64_t>(b) + 1, instance + 1);
+    const auto tid = static_cast<ThreadId>(t);
+    streams_.push_back(std::make_unique<TraceStream>(profile_of(b), tid, tseed));
+    wrongpaths_.push_back(
+        std::make_unique<WrongPathSupplier>(profile_of(b), tid, tseed));
+    programs.push_back(ThreadProgram{streams_.back().get(), wrongpaths_.back().get()});
+  }
+
+  core_ = std::make_unique<SmtCore>(machine_.core, *mem_, *bpred_, std::move(programs),
+                                    stats_);
+  policy_ = make_policy(policy, *core_, params);
+  DWARN_CHECK(policy_ != nullptr);
+  core_->set_policy(policy_.get());
+}
+
+void Simulator::tick(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) core_->tick();
+}
+
+SimResult Simulator::run(const RunLength& len) {
+  // Warm-up window: populate caches, TLBs and predictors.
+  {
+    std::uint64_t guard = 0;
+    while (core_->total_committed() < len.warmup_insts && guard++ < len.max_cycles) {
+      core_->tick();
+    }
+  }
+  stats_.reset_all();
+
+  // Measurement window.
+  {
+    std::uint64_t guard = 0;
+    while (core_->total_committed() < len.measure_insts && guard++ < len.max_cycles) {
+      core_->tick();
+    }
+  }
+
+  SimResult res;
+  res.workload = workload_.name;
+  res.policy = std::string(policy_->name());
+  res.machine = machine_.name;
+  res.cycles = stats_.value("core.cycles");
+  const double cycles = res.cycles > 0 ? static_cast<double>(res.cycles) : 1.0;
+  for (std::size_t t = 0; t < workload_.num_threads(); ++t) {
+    const auto c = stats_.value("core.committed.t" + std::to_string(t));
+    res.thread_ipc.push_back(static_cast<double>(c) / cycles);
+    res.throughput += res.thread_ipc.back();
+  }
+  const auto fetched = stats_.value("core.fetched");
+  res.flushed_frac = fetched == 0 ? 0.0
+                                  : static_cast<double>(stats_.value("core.squashed_flush")) /
+                                        static_cast<double>(fetched);
+  res.counters = stats_.snapshot();
+  // Derived occupancy means (x100 so they fit the integer counter map).
+  for (const char* h : {"core.occ.iq_int", "core.occ.iq_fp", "core.occ.iq_ls",
+                        "core.occ.int_regs"}) {
+    res.counters[std::string(h) + ".mean_x100"] =
+        static_cast<std::uint64_t>(stats_.histogram_mean(h) * 100.0);
+  }
+  return res;
+}
+
+SimResult run_simulation(const MachineConfig& machine, const WorkloadSpec& workload,
+                         PolicyKind policy, const RunLength& len,
+                         const PolicyParams& params, std::uint64_t seed) {
+  Simulator sim(machine, workload, policy, params, seed);
+  return sim.run(len);
+}
+
+WorkloadSpec solo_workload(Benchmark b) {
+  WorkloadSpec w;
+  w.name = std::string(profile_of(b).name) + "-solo";
+  w.type = profile_of(b).is_mem ? WorkloadType::MEM : WorkloadType::ILP;
+  w.benchmarks = {b};
+  return w;
+}
+
+}  // namespace dwarn

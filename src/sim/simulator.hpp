@@ -1,0 +1,88 @@
+// One complete simulated machine run.
+//
+// A Simulator owns everything a run needs — statistics, memory hierarchy,
+// branch predictor, per-thread instruction streams, the SMT core and the
+// fetch policy — wires them together, and executes a warm-up window
+// followed by a measurement window (statistics reset between the two, so
+// caches and predictors stay warm while counters start clean; the paper's
+// SimPoint-segment methodology has the same intent).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/smt_core.hpp"
+#include "policy/factory.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/workload.hpp"
+
+namespace dwarn {
+
+/// Run-length controls. `from_env` honors:
+///   SMT_SIM_INSTS    measurement window, total committed instructions
+///   SMT_WARMUP_INSTS warm-up window, total committed instructions
+struct RunLength {
+  std::uint64_t warmup_insts = 100'000;
+  std::uint64_t measure_insts = 400'000;
+  std::uint64_t max_cycles = 20'000'000;  ///< safety cap per window
+
+  [[nodiscard]] static RunLength from_env();
+};
+
+/// Outcome of one run.
+struct SimResult {
+  std::string workload;
+  std::string policy;
+  std::string machine;
+  std::uint64_t cycles = 0;
+  std::vector<double> thread_ipc;  ///< committed IPC per context
+  double throughput = 0.0;         ///< sum of thread IPCs
+  double flushed_frac = 0.0;       ///< FLUSH-squashed / fetched
+  std::map<std::string, std::uint64_t> counters;  ///< full counter snapshot
+};
+
+/// A fully assembled machine + workload + policy.
+class Simulator {
+ public:
+  Simulator(const MachineConfig& machine, const WorkloadSpec& workload,
+            PolicyKind policy, const PolicyParams& params = {},
+            std::uint64_t seed = 1);
+
+  /// Warm up, reset statistics, then measure. Returns the result summary.
+  SimResult run(const RunLength& len);
+
+  /// Advance `n` cycles without any window bookkeeping (test hook).
+  void tick(std::uint64_t n = 1);
+
+  [[nodiscard]] SmtCore& core() { return *core_; }
+  [[nodiscard]] StatSet& stats() { return stats_; }
+  [[nodiscard]] MemoryHierarchy& memory() { return *mem_; }
+  [[nodiscard]] FetchPolicy& policy() { return *policy_; }
+  [[nodiscard]] const WorkloadSpec& workload() const { return workload_; }
+
+ private:
+  MachineConfig machine_;
+  WorkloadSpec workload_;
+  StatSet stats_;
+  std::unique_ptr<MemoryHierarchy> mem_;
+  std::unique_ptr<FrontEndPredictor> bpred_;
+  std::vector<std::unique_ptr<TraceStream>> streams_;
+  std::vector<std::unique_ptr<WrongPathSupplier>> wrongpaths_;
+  std::unique_ptr<SmtCore> core_;
+  std::unique_ptr<FetchPolicy> policy_;
+};
+
+/// Convenience: build + run in one call.
+[[nodiscard]] SimResult run_simulation(const MachineConfig& machine,
+                                       const WorkloadSpec& workload, PolicyKind policy,
+                                       const RunLength& len, const PolicyParams& params = {},
+                                       std::uint64_t seed = 1);
+
+/// A single-benchmark workload (for isolated-thread baselines, Table 2(a)
+/// and the relative-IPC denominators).
+[[nodiscard]] WorkloadSpec solo_workload(Benchmark b);
+
+}  // namespace dwarn

@@ -1,0 +1,55 @@
+#include "sim/workload.hpp"
+
+#include "common/check.hpp"
+
+namespace dwarn {
+
+namespace {
+using B = Benchmark;
+
+std::vector<WorkloadSpec> build_paper_workloads() {
+  return {
+      {"2-ILP", WorkloadType::ILP, {B::gzip, B::bzip2}},
+      {"2-MIX", WorkloadType::MIX, {B::gzip, B::twolf}},
+      {"2-MEM", WorkloadType::MEM, {B::mcf, B::twolf}},
+      {"4-ILP", WorkloadType::ILP, {B::gzip, B::bzip2, B::eon, B::gcc}},
+      {"4-MIX", WorkloadType::MIX, {B::gzip, B::twolf, B::bzip2, B::mcf}},
+      {"4-MEM", WorkloadType::MEM, {B::mcf, B::twolf, B::vpr, B::parser}},
+      {"6-ILP", WorkloadType::ILP,
+       {B::gzip, B::bzip2, B::eon, B::gcc, B::crafty, B::perlbmk}},
+      {"6-MIX", WorkloadType::MIX,
+       {B::gzip, B::twolf, B::bzip2, B::mcf, B::vpr, B::eon}},
+      {"6-MEM", WorkloadType::MEM,
+       {B::mcf, B::twolf, B::vpr, B::parser, B::mcf, B::twolf}},
+      {"8-ILP", WorkloadType::ILP,
+       {B::gzip, B::bzip2, B::eon, B::gcc, B::crafty, B::perlbmk, B::gap, B::vortex}},
+      {"8-MIX", WorkloadType::MIX,
+       {B::gzip, B::twolf, B::bzip2, B::mcf, B::vpr, B::eon, B::parser, B::gap}},
+      {"8-MEM", WorkloadType::MEM,
+       {B::mcf, B::twolf, B::vpr, B::parser, B::mcf, B::twolf, B::vpr, B::parser}},
+  };
+}
+}  // namespace
+
+const std::vector<WorkloadSpec>& paper_workloads() {
+  static const std::vector<WorkloadSpec> all = build_paper_workloads();
+  return all;
+}
+
+std::vector<WorkloadSpec> small_machine_workloads() {
+  std::vector<WorkloadSpec> out;
+  for (const auto& w : paper_workloads()) {
+    if (w.num_threads() <= 4) out.push_back(w);
+  }
+  return out;
+}
+
+const WorkloadSpec& workload_by_name(std::string_view name) {
+  for (const auto& w : paper_workloads()) {
+    if (w.name == name) return w;
+  }
+  DWARN_CHECK(false && "unknown workload name");
+  return paper_workloads().front();  // unreachable
+}
+
+}  // namespace dwarn

@@ -1,0 +1,44 @@
+// The paper's multiprogrammed workloads (Table 2(b)).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/benchmark_profile.hpp"
+
+namespace dwarn {
+
+/// Cache-behavior class of a workload.
+enum class WorkloadType : std::uint8_t { ILP, MIX, MEM };
+
+[[nodiscard]] constexpr std::string_view to_string(WorkloadType t) {
+  switch (t) {
+    case WorkloadType::ILP: return "ILP";
+    case WorkloadType::MIX: return "MIX";
+    case WorkloadType::MEM: return "MEM";
+  }
+  return "?";
+}
+
+/// One multiprogrammed workload.
+struct WorkloadSpec {
+  std::string name;                  ///< e.g. "4-MIX"
+  WorkloadType type = WorkloadType::ILP;
+  std::vector<Benchmark> benchmarks; ///< one entry per hardware context
+
+  [[nodiscard]] std::size_t num_threads() const { return benchmarks.size(); }
+};
+
+/// All 12 workloads of Table 2(b): {2,4,6,8} threads x {ILP, MIX, MEM}.
+/// Replicated benchmarks (6-MEM, 8-MEM) run as independently seeded
+/// instances — the paper's 1M-instruction shift serves the same purpose.
+[[nodiscard]] const std::vector<WorkloadSpec>& paper_workloads();
+
+/// The 2- and 4-thread subset used for the 4-context small machine
+/// (paper Figure 4).
+[[nodiscard]] std::vector<WorkloadSpec> small_machine_workloads();
+
+/// Find a workload by name ("2-ILP" ... "8-MEM"); aborts if unknown.
+[[nodiscard]] const WorkloadSpec& workload_by_name(std::string_view name);
+
+}  // namespace dwarn

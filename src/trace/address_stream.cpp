@@ -1,0 +1,66 @@
+#include "trace/address_stream.hpp"
+
+namespace dwarn {
+
+AddressStreamSet::AddressStreamSet(const BenchmarkProfile& prof, ThreadId tid,
+                                   std::uint64_t seed)
+    : prof_(prof) {
+  // 1 TiB per thread; sub-regions spaced 64 GiB apart within it.
+  const Addr window = (static_cast<Addr>(tid) + 1) << 40;
+  Xoshiro256 phase(derive_seed(seed, tid, 0xadd7));
+  // L1 set indexing ignores the high window bits, so without per-thread
+  // placement every context's hot set would fight over the same L1 sets.
+  // Give each stream a seed-chosen L1 set placement: hot occupies 32
+  // consecutive sets starting at a random set; the warm set avoids the
+  // owner's hot range (warm's cycling would otherwise evict a hot line
+  // on every lap by construction).
+  constexpr std::uint64_t kL1Sets = 512;
+  const std::uint64_t hot_set = phase.next_below(kL1Sets);
+  hot_base_ = window + (1ull << 36) + hot_set * kLineBytes;
+  std::uint64_t warm_off;
+  do {
+    warm_off = phase.next_below(4096);
+  } while (((warm_off % kL1Sets) - hot_set + kL1Sets) % kL1Sets < kHotLines);
+  warm_base_ = window + (2ull << 36) + warm_off * kLineBytes;
+  cold_base_ = window + (3ull << 36);
+  warm_pos_ = phase.next_below(kWarmLines);
+  cold_pos_ = phase.next_below(prof_.cold_bytes / kLineBytes);
+}
+
+Locality AddressStreamSet::next_load_class(Xoshiro256& rng) const {
+  const double u = rng.next_double();
+  if (u < prof_.p_cold) return Locality::Cold;
+  if (u < prof_.p_cold + prof_.p_warm) return Locality::Warm;
+  return Locality::Hot;
+}
+
+Locality AddressStreamSet::next_store_class(Xoshiro256& rng) const {
+  return rng.next_bool(prof_.store_warm) ? Locality::Warm : Locality::Hot;
+}
+
+Addr AddressStreamSet::next(Locality c, Xoshiro256& rng) {
+  switch (c) {
+    case Locality::Hot: {
+      // Uniform over a tiny resident set; random offset within the line.
+      const std::uint64_t line = rng.next_below(kHotLines);
+      return hot_base_ + line * kLineBytes + rng.next_below(kLineBytes / 8) * 8;
+    }
+    case Locality::Warm: {
+      // Cyclic walk over kWarmLines lines one L1-way apart: guaranteed L1
+      // conflict miss, guaranteed L2 hit after the first (short) lap.
+      const Addr a = warm_base_ + warm_pos_ * kWarmStride;
+      warm_pos_ = (warm_pos_ + 1) % kWarmLines;
+      return a;
+    }
+    case Locality::Cold: {
+      // Streaming walk over a region far beyond L2 capacity.
+      const std::uint64_t lines = prof_.cold_bytes / kLineBytes;
+      const Addr a = cold_base_ + cold_pos_ * kLineBytes;
+      cold_pos_ = (cold_pos_ + 1) % lines;
+      return a;
+    }
+  }
+  return hot_base_;
+}
+
+}  // namespace dwarn

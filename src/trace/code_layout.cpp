@@ -1,0 +1,86 @@
+#include "trace/code_layout.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dwarn {
+
+CodeLayout::CodeLayout(const BenchmarkProfile& prof, ThreadId tid, std::uint64_t seed)
+    : prof_(prof),
+      text_base_(((static_cast<Addr>(tid) + 1) << 40) + (8ull << 36)),
+      num_slots_(static_cast<std::uint64_t>(prof.code_lines) * 16),  // 16 slots/64B line
+      seed_(derive_seed(seed, tid, 0xc0de)) {
+  DWARN_CHECK(num_slots_ >= kFuncSlots);
+  DWARN_CHECK(num_slots_ % kFuncSlots == 0);
+}
+
+std::uint64_t CodeLayout::hash_of(std::uint64_t slot, std::uint64_t salt) const {
+  SplitMix64 sm(seed_ ^ (slot * 0x9e3779b97f4a7c15ULL) ^ (salt << 32));
+  sm.next();
+  return sm.next();
+}
+
+Addr CodeLayout::wrap(Addr pc) const {
+  const Addr end = text_base_ + num_slots_ * kInstBytes;
+  if (pc >= end) return text_base_ + (pc - end) % (num_slots_ * kInstBytes);
+  if (pc < text_base_) return text_base_;
+  return pc;
+}
+
+SlotRole CodeLayout::role(std::uint64_t idx) const {
+  DWARN_CHECK(idx < num_slots_);
+  SlotRole r;
+  const std::uint64_t func = idx / kFuncSlots;
+  const std::uint64_t local = idx % kFuncSlots;
+  const std::uint64_t func_end = (func + 1) * kFuncSlots - 1;  // FuncEnd slot
+
+  if (local == kFuncSlots - 1) {
+    r.kind = SlotRole::Kind::FuncEnd;
+    r.target_slot = (hash_of(idx, 1) % num_funcs()) * kFuncSlots;
+    return r;
+  }
+
+  // Site densities. Loop headers every ~56 slots, calls scaled from the
+  // profile's call share, skips supplying the bulk of the branch mix
+  // (the back-edges add roughly one branch per body pass).
+  const double p_header = 1.0 / 56.0;
+  const double p_call = 0.003 + prof_.call_frac * 0.05;
+  const double p_skip = std::max(0.02, prof_.branch_frac - 0.05);
+
+  const double u = unit_of(idx, 2);
+  if (u < p_header) {
+    // Demote headers too close to the function end to fit a body.
+    if (local + 10 >= kFuncSlots - 1) return r;
+    std::uint32_t body = 8 + static_cast<std::uint32_t>(hash_of(idx, 3) % 40);
+    const auto max_body = static_cast<std::uint32_t>(func_end - 1 - idx);
+    body = std::min(body, max_body);
+    if (body < 6) return r;
+    r.kind = SlotRole::Kind::LoopHeader;
+    r.body_len = body;
+    r.base_iters = 2 + static_cast<std::uint32_t>(hash_of(idx, 4) % 14);
+    return r;
+  }
+  if (u < p_header + p_call) {
+    r.kind = SlotRole::Kind::Call;
+    r.target_slot = (hash_of(idx, 5) % num_funcs()) * kFuncSlots;
+    return r;
+  }
+  if (u < p_header + p_call + p_skip) {
+    r.kind = SlotRole::Kind::Skip;
+    const double u_hard = unit_of(idx, 6);
+    if (u_hard < prof_.hard_branch_frac) {
+      r.skip_prob = 0.35 + 0.30 * unit_of(idx, 7);  // data-dependent diamond
+    } else if (u_hard < prof_.hard_branch_frac + 0.10) {
+      r.skip_prob = 0.08 + 0.12 * unit_of(idx, 7);  // moderately biased
+    } else {
+      r.skip_prob = 0.01 + 0.05 * unit_of(idx, 7);  // guard/error path
+    }
+    const std::uint64_t disp = 2 + (hash_of(idx, 8) % 14);
+    r.skip_target = std::min(idx + disp, func_end);
+    return r;
+  }
+  return r;  // Plain
+}
+
+}  // namespace dwarn

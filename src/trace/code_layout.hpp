@@ -1,0 +1,114 @@
+// Static code model.
+//
+// A benchmark's text segment is a window of 4-byte instruction slots,
+// partitioned into fixed-size *functions* of kFuncSlots slots. Every
+// static property — whether a slot is a loop header, an if-skip branch, a
+// call site, and each site's parameters — is a pure function of the slot
+// index via hashing, so the layout is stable across visits, squashes and
+// re-fetches, and the I-cache, BTB and gshare always see the same sites.
+//
+// The *dynamic* walk (TraceStream) interprets this layout as structured
+// code, the way real SPECint binaries execute:
+//
+//   * LoopHeader slots open a loop: the body is the next `body_len`
+//     slots; the slot at the body's end acts as the back-edge conditional
+//     (taken back to the header until the per-entry trip count runs out).
+//     Trip counts are short (2..16, hash base + small random jitter), so
+//     paths through bodies repeat many times — this local repetition is
+//     precisely the structure a gshare exploits, and is why the synthetic
+//     streams reach SPECint-like prediction accuracy honestly rather
+//     than by construction.
+//   * Skip slots are if-branches inside bodies: mostly fall-through with
+//     a small taken probability to a short forward target; a per-profile
+//     fraction are hard (near-50/50, data-dependent) sites.
+//   * Call slots jump to the start of another (hash-chosen) function;
+//     the TraceStream pushes its shadow stack and the callee's FuncEnd
+//     slot returns — exercising the RAS with properly nested addresses.
+//   * FuncEnd (the last slot of each function) returns to the caller, or
+//     jumps to a hash-chosen next function when the call stack is empty.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/benchmark_profile.hpp"
+
+namespace dwarn {
+
+/// Static role of one instruction slot.
+struct SlotRole {
+  enum class Kind : std::uint8_t {
+    Plain,       ///< ordinary instruction (class drawn from the mix)
+    Skip,        ///< if-branch: conditional short forward skip
+    LoopHeader,  ///< opens a loop (emits a plain instruction)
+    Call,        ///< direct call to another function
+    FuncEnd,     ///< return site / next-function jump
+  };
+  Kind kind = Kind::Plain;
+
+  // Skip sites.
+  double skip_prob = 0.0;        ///< P(taken)
+  std::uint64_t skip_target = 0; ///< absolute slot index (static)
+
+  // LoopHeader sites.
+  std::uint32_t body_len = 0;    ///< body slots; back-edge at header+body_len
+  std::uint32_t base_iters = 0;  ///< trip count before per-entry jitter
+
+  // Call / FuncEnd sites.
+  std::uint64_t target_slot = 0; ///< callee entry / empty-stack successor
+};
+
+/// Deterministic hashed code layout for one thread's text segment.
+class CodeLayout {
+ public:
+  /// `seed` individualizes the layout; `tid` selects the text window.
+  CodeLayout(const BenchmarkProfile& prof, ThreadId tid, std::uint64_t seed);
+
+  /// Static role of slot `idx` (0-based).
+  [[nodiscard]] SlotRole role(std::uint64_t idx) const;
+
+  /// First instruction address of the text segment.
+  [[nodiscard]] Addr text_base() const { return text_base_; }
+
+  /// Number of instruction slots in the segment.
+  [[nodiscard]] std::uint64_t num_slots() const { return num_slots_; }
+
+  /// Number of kFuncSlots-sized functions in the segment.
+  [[nodiscard]] std::uint64_t num_funcs() const { return num_slots_ / kFuncSlots; }
+
+  /// Slot index of `pc` (pc must lie in the segment).
+  [[nodiscard]] std::uint64_t slot_index(Addr pc) const {
+    return (pc - text_base_) / kInstBytes;
+  }
+
+  /// Address of slot `idx`.
+  [[nodiscard]] Addr pc_of(std::uint64_t idx) const {
+    return text_base_ + idx * kInstBytes;
+  }
+
+  /// Wrap `pc` into the text segment.
+  [[nodiscard]] Addr wrap(Addr pc) const;
+
+  /// Stateless per-slot uniform hash in [0,1) — static per-site attributes
+  /// beyond the SlotRole (e.g. which load sites are miss-prone).
+  [[nodiscard]] double unit_hash(std::uint64_t idx, std::uint64_t salt) const {
+    return unit_of(idx, salt);
+  }
+
+  static constexpr std::uint32_t kInstBytes = 4;
+  static constexpr std::uint64_t kFuncSlots = 512;
+
+ private:
+  [[nodiscard]] std::uint64_t hash_of(std::uint64_t slot, std::uint64_t salt) const;
+  [[nodiscard]] double unit_of(std::uint64_t slot, std::uint64_t salt) const {
+    return static_cast<double>(hash_of(slot, salt) >> 11) * 0x1.0p-53;
+  }
+
+  const BenchmarkProfile& prof_;
+  Addr text_base_;
+  std::uint64_t num_slots_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dwarn

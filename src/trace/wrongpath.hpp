@@ -1,0 +1,70 @@
+// Wrong-path instruction supplier.
+//
+// The paper's simulator "allows the execution of wrong path instructions
+// by using a separate basic block dictionary". After a mispredicted
+// branch, fetch walks the (wrong) predicted path until the branch
+// resolves; those instructions consume fetch bandwidth, rename registers,
+// issue-queue slots and cache ports exactly like real ones, and are
+// squashed at resolution. This class supplies plausible instructions for
+// any wrong PC: branch-free straight-line code with a realistic memory
+// mix, drawn from the same per-thread data regions (so wrong-path loads
+// pollute the caches and raise the DWarn/DG miss counters, as they would
+// in hardware).
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "trace/address_stream.hpp"
+#include "trace/benchmark_profile.hpp"
+#include "trace/code_layout.hpp"
+#include "trace/instruction.hpp"
+
+namespace dwarn {
+
+/// Generates wrong-path instructions for one context.
+class WrongPathSupplier {
+ public:
+  WrongPathSupplier(const BenchmarkProfile& prof, ThreadId tid, std::uint64_t seed)
+      : prof_(prof),
+        addrs_(prof, tid, derive_seed(seed, tid, 0xbad0)),
+        rng_(derive_seed(seed, tid, 0xbad1)) {}
+
+  /// Produce the wrong-path instruction at `pc`; advances internal streams.
+  TraceInst next(Addr pc, const CodeLayout& layout) {
+    TraceInst inst;
+    inst.pc = pc;
+    inst.next_pc = layout.wrap(pc + CodeLayout::kInstBytes);
+    const double u = rng_.next_double();
+    if (u < prof_.load_frac) {
+      inst.cls = InstClass::Load;
+      // Wrong-path references overwhelmingly hit (stale pointers into
+      // live data); a small warm share models the residual pollution.
+      const Locality c = rng_.next_bool(0.05) ? Locality::Warm : Locality::Hot;
+      inst.mem_addr = addrs_.next(c, rng_);
+      inst.dest_reg = static_cast<std::uint8_t>(1 + rng_.next_below(kArchRegs - 1));
+      inst.dest_class = RegClass::Int;
+      inst.src_regs[0] = static_cast<std::uint8_t>(1 + rng_.next_below(kArchRegs - 1));
+      inst.src_class[0] = RegClass::Int;
+    } else if (u < prof_.load_frac + prof_.store_frac) {
+      inst.cls = InstClass::Store;
+      inst.mem_addr = addrs_.next(Locality::Hot, rng_);
+      inst.src_regs[0] = static_cast<std::uint8_t>(1 + rng_.next_below(kArchRegs - 1));
+      inst.src_class[0] = RegClass::Int;
+    } else {
+      inst.cls = InstClass::IntAlu;
+      inst.dest_reg = static_cast<std::uint8_t>(1 + rng_.next_below(kArchRegs - 1));
+      inst.dest_class = RegClass::Int;
+      inst.src_regs[0] = static_cast<std::uint8_t>(1 + rng_.next_below(kArchRegs - 1));
+      inst.src_class[0] = RegClass::Int;
+    }
+    inst.exec_latency = 1;
+    return inst;
+  }
+
+ private:
+  const BenchmarkProfile& prof_;
+  AddressStreamSet addrs_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace dwarn

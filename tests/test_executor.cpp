@@ -1,0 +1,60 @@
+// Unit tests: parallel experiment executor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/executor.hpp"
+
+namespace dwarn {
+namespace {
+
+TEST(Executor, RunsEveryJobExactlyOnce) {
+  std::vector<std::atomic<int>> hits(64);
+  std::vector<std::function<void()>> jobs;
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    jobs.emplace_back([&hits, i] { hits[i].fetch_add(1); });
+  }
+  run_parallel(std::move(jobs), 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Executor, SingleWorkerIsSequential) {
+  std::vector<int> order;
+  std::vector<std::function<void()>> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.emplace_back([&order, i] { order.push_back(i); });
+  }
+  run_parallel(std::move(jobs), 1);
+  std::vector<int> expect(8);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(Executor, EmptyJobListIsNoop) {
+  run_parallel({}, 4);  // must not hang or crash
+}
+
+TEST(Executor, PropagatesException) {
+  std::vector<std::function<void()>> jobs;
+  jobs.emplace_back([] { throw std::runtime_error("boom"); });
+  jobs.emplace_back([] {});
+  EXPECT_THROW(run_parallel(std::move(jobs), 2), std::runtime_error);
+}
+
+TEST(Executor, ParallelForCoversRange) {
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for(100, [&sum](std::size_t i) { sum.fetch_add(i); }, 3);
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(Executor, MoreWorkersThanJobs) {
+  std::atomic<int> n{0};
+  parallel_for(2, [&n](std::size_t) { n.fetch_add(1); }, 16);
+  EXPECT_EQ(n.load(), 2);
+}
+
+}  // namespace
+}  // namespace dwarn

@@ -1,0 +1,81 @@
+// Unit tests: deterministic RNG substrate.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace dwarn {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next()) ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, Deterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 r(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, DoubleMeanNearHalf) {
+  Xoshiro256 r(9);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 r(5);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 4096ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, NextBelowCoversRange) {
+  Xoshiro256 r(11);
+  std::array<int, 8> hits{};
+  for (int i = 0; i < 8000; ++i) ++hits[r.next_below(8)];
+  for (const int h : hits) EXPECT_GT(h, 700);  // roughly uniform
+}
+
+TEST(Xoshiro256, BernoulliFrequency) {
+  Xoshiro256 r(17);
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) heads += r.next_bool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+TEST(Xoshiro256, GeometricClamped) {
+  Xoshiro256 r(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_LE(r.next_geometric(0.9, 5), 5u);
+}
+
+TEST(DeriveSeed, TagsProduceDistinctStreams) {
+  const auto s1 = derive_seed(100, 1);
+  const auto s2 = derive_seed(100, 2);
+  const auto s3 = derive_seed(100, 1, 1);
+  EXPECT_NE(s1, s2);
+  EXPECT_NE(s1, s3);
+  EXPECT_NE(s2, s3);
+  EXPECT_EQ(derive_seed(100, 1), s1);  // stable
+}
+
+}  // namespace
+}  // namespace dwarn

@@ -1,0 +1,97 @@
+// Unit tests: statistics registry.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace dwarn {
+namespace {
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(4);
+  h.sample(0);
+  h.sample(3);
+  h.sample(4);   // overflow bucket
+  h.sample(99);  // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+  EXPECT_EQ(h.buckets()[4], 2u);
+}
+
+TEST(Histogram, MeanUsesTrueValues) {
+  Histogram h(2);
+  h.sample(10);
+  h.sample(20);
+  EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+}
+
+TEST(Histogram, EmptyMeanIsZero) {
+  Histogram h(4);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(StatSet, CounterIdentityIsStable) {
+  StatSet s;
+  Counter& a = s.counter("x.y");
+  Counter& b = s.counter("x.y");
+  EXPECT_EQ(&a, &b);
+  a.add(5);
+  EXPECT_EQ(s.value("x.y"), 5u);
+}
+
+TEST(StatSet, UnknownCounterReadsZero) {
+  StatSet s;
+  EXPECT_EQ(s.value("nope"), 0u);
+}
+
+TEST(StatSet, Ratio) {
+  StatSet s;
+  s.counter("hits").add(30);
+  s.counter("total").add(120);
+  EXPECT_DOUBLE_EQ(s.ratio("hits", "total"), 0.25);
+  EXPECT_DOUBLE_EQ(s.ratio("hits", "absent"), 0.0);
+}
+
+TEST(StatSet, ResetAllClearsEverything) {
+  StatSet s;
+  s.counter("a").add(3);
+  s.histogram("h", 4).sample(2);
+  s.reset_all();
+  EXPECT_EQ(s.value("a"), 0u);
+  EXPECT_EQ(s.histogram("h", 4).count(), 0u);
+}
+
+TEST(StatSet, SnapshotContainsAllCounters) {
+  StatSet s;
+  s.counter("one").add(1);
+  s.counter("two").add(2);
+  const auto snap = s.snapshot();
+  EXPECT_EQ(snap.at("one"), 1u);
+  EXPECT_EQ(snap.at("two"), 2u);
+}
+
+TEST(StatSet, HistogramMean) {
+  StatSet s;
+  s.histogram("occ", 8).sample(4);
+  s.histogram("occ", 8).sample(6);
+  EXPECT_DOUBLE_EQ(s.histogram_mean("occ"), 5.0);
+  EXPECT_DOUBLE_EQ(s.histogram_mean("none"), 0.0);
+}
+
+TEST(FormatPct, OneDecimal) {
+  EXPECT_EQ(format_pct(0.3333), "33.3%");
+  EXPECT_EQ(format_pct(0.0), "0.0%");
+}
+
+}  // namespace
+}  // namespace dwarn

@@ -1,0 +1,168 @@
+// Stress, failure-injection and differential tests.
+//
+// Differential tests pin down when policies must be *exactly* equivalent:
+// with one thread, or with no long-latency events, the gating policies
+// reduce to ICOUNT, so their runs must be cycle-identical — any
+// divergence exposes a hidden side effect in the policy plumbing.
+// Stress tests push squash/flush machinery through adversarial machine
+// shapes and assert the structural invariants throughout.
+#include <gtest/gtest.h>
+
+#include "sim/machine_config.hpp"
+#include "sim/simulator.hpp"
+#include "sim/workload.hpp"
+
+namespace dwarn {
+namespace {
+
+RunLength tiny() {
+  return RunLength{.warmup_insts = 3000, .measure_insts = 15000, .max_cycles = 4'000'000};
+}
+
+std::uint64_t cycles_of(const MachineConfig& m, const WorkloadSpec& w, PolicyKind p) {
+  Simulator sim(m, w, p, PolicyParams{}, /*seed=*/9);
+  return sim.run(tiny()).cycles;
+}
+
+// ---- differential equivalences ------------------------------------------------
+
+TEST(Differential, SingleThreadPoliciesAreCycleIdentical) {
+  // With one context there is nothing to prioritize, and STALL / FLUSH /
+  // hybrid DWarn never act on the only running thread (keep-one rule).
+  const auto w = solo_workload(Benchmark::twolf);
+  const auto m = baseline_machine(1);
+  const auto ic = cycles_of(m, w, PolicyKind::ICount);
+  EXPECT_EQ(cycles_of(m, w, PolicyKind::Stall), ic);
+  EXPECT_EQ(cycles_of(m, w, PolicyKind::Flush), ic);
+  EXPECT_EQ(cycles_of(m, w, PolicyKind::DWarn), ic);
+  EXPECT_EQ(cycles_of(m, w, PolicyKind::DWarnBasic), ic);
+}
+
+TEST(Differential, SingleThreadDGDiffers) {
+  // DG has no keep-one rule: it gates even the only thread on its L1
+  // misses, costing cycles — the paper's point about DG's bluntness.
+  const auto w = solo_workload(Benchmark::twolf);
+  const auto m = baseline_machine(1);
+  EXPECT_GT(cycles_of(m, w, PolicyKind::DG), cycles_of(m, w, PolicyKind::ICount));
+}
+
+TEST(Differential, NoLongLatencyEventsMakesStallFlushEqualICount) {
+  // Fast memory + free TLB misses + a huge declaration threshold: no load
+  // is ever declared long-latency, so STALL and FLUSH have nothing to act
+  // on and must replay ICOUNT's execution cycle for cycle.
+  MachineConfig m = baseline_machine(2);
+  m.mem.l2_latency = 2;
+  m.mem.mem_latency = 3;
+  m.mem.tlb_miss_penalty = 0;
+  m.mem.l2_declare_threshold = 100;
+  const WorkloadSpec& w = workload_by_name("2-MEM");
+  const auto ic = cycles_of(m, w, PolicyKind::ICount);
+  EXPECT_EQ(cycles_of(m, w, PolicyKind::Stall), ic);
+  EXPECT_EQ(cycles_of(m, w, PolicyKind::Flush), ic);
+}
+
+TEST(Differential, DWarnStillDiffersWithoutLongLatencyEvents) {
+  // DWarn's detection moment is the *L1 miss*, which fast memory does not
+  // remove — its grouping must still reorder fetch.
+  MachineConfig m = baseline_machine(2);
+  m.mem.l2_latency = 2;
+  m.mem.mem_latency = 3;
+  m.mem.tlb_miss_penalty = 0;
+  m.mem.l2_declare_threshold = 100;
+  const WorkloadSpec& w = workload_by_name("2-MEM");
+  EXPECT_NE(cycles_of(m, w, PolicyKind::DWarn), cycles_of(m, w, PolicyKind::ICount));
+}
+
+TEST(Differential, DWarnBasicEqualsHybridAtManyThreads) {
+  // The hybrid gate is conditioned on <3 running threads; with 4 threads
+  // the two variants must be cycle-identical.
+  const WorkloadSpec& w = workload_by_name("4-MEM");
+  const auto m = baseline_machine(4);
+  EXPECT_EQ(cycles_of(m, w, PolicyKind::DWarn), cycles_of(m, w, PolicyKind::DWarnBasic));
+}
+
+// ---- stress / failure injection ---------------------------------------------
+
+TEST(Stress, HairTriggerFlushStorm) {
+  // Declare after 2 cycles in the hierarchy: every L1 miss flushes its
+  // thread. The squash machinery must survive constant flushing.
+  MachineConfig m = baseline_machine(4);
+  m.mem.l2_declare_threshold = 2;
+  Simulator sim(m, workload_by_name("4-MEM"), PolicyKind::Flush);
+  const auto res = sim.run(tiny());
+  EXPECT_TRUE(sim.core().check_invariants());
+  EXPECT_GT(res.counters.at("core.flush_events"), 100u);
+  EXPECT_GT(res.throughput, 0.05);  // still makes progress
+}
+
+TEST(Stress, CrampedMachineUnderFlush) {
+  MachineConfig m = baseline_machine(2);
+  m.core.iq_capacity = {6, 6, 6};
+  m.core.frontend_buffer = 8;
+  m.core.rob_entries = 24;
+  m.core.pregs_int = 2 * 32 + 12;
+  m.core.pregs_fp = 2 * 32 + 8;
+  m.mem.l2_declare_threshold = 5;
+  Simulator sim(m, workload_by_name("2-MEM"), PolicyKind::Flush);
+  for (int i = 0; i < 6; ++i) {
+    sim.tick(2000);
+    EXPECT_TRUE(sim.core().check_invariants());
+  }
+  EXPECT_GT(sim.core().total_committed(), 0u);
+}
+
+TEST(Stress, SlowMemoryMagnifiesButNeverWedges) {
+  MachineConfig m = baseline_machine(4);
+  m.mem.mem_latency = 1000;
+  m.mem.tlb_miss_penalty = 1000;
+  Simulator sim(m, workload_by_name("4-MEM"), PolicyKind::DWarn);
+  const auto res = sim.run(tiny());
+  EXPECT_GT(res.throughput, 0.01);
+  EXPECT_TRUE(sim.core().check_invariants());
+}
+
+TEST(Stress, SingleEntryQueuesStillFlow) {
+  MachineConfig m = baseline_machine(2);
+  m.core.iq_capacity = {2, 2, 2};
+  m.core.fu_count = {1, 1, 1};
+  m.core.issue_width = 2;
+  Simulator sim(m, workload_by_name("2-ILP"), PolicyKind::ICount);
+  const auto res = sim.run(tiny());
+  EXPECT_GT(res.throughput, 0.1);
+  EXPECT_TRUE(sim.core().check_invariants());
+}
+
+TEST(Stress, DcPredWithDrasticLimit) {
+  // A resource cap of 1 in-flight instruction while limited: the
+  // head-of-line path must not deadlock.
+  PolicyParams params;
+  params.dcpred_limit = 1;
+  Simulator sim(baseline_machine(4), workload_by_name("4-MEM"), PolicyKind::DCPred,
+                params);
+  const auto res = sim.run(tiny());
+  EXPECT_GT(res.throughput, 0.05);
+  EXPECT_TRUE(sim.core().check_invariants());
+}
+
+TEST(Stress, LongRewindWindows) {
+  // A giant ROB forces the trace window to buffer deeply and rewind far.
+  MachineConfig m = baseline_machine(2);
+  m.core.rob_entries = 2048;
+  m.core.frontend_buffer = 128;
+  Simulator sim(m, workload_by_name("2-MEM"), PolicyKind::ICount);
+  const auto res = sim.run(tiny());
+  EXPECT_GT(res.throughput, 0.05);
+  EXPECT_TRUE(sim.core().check_invariants());
+}
+
+TEST(Stress, SeedSweepInvariants) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Simulator sim(baseline_machine(4), workload_by_name("4-MIX"), PolicyKind::DWarn,
+                  PolicyParams{}, seed);
+    sim.tick(6000);
+    EXPECT_TRUE(sim.core().check_invariants()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dwarn
