@@ -21,31 +21,38 @@ int main() {
                                       workload_by_name("4-MEM"),
                                       workload_by_name("8-MEM")};
 
+  // One grid: the detection delay is a machine variant, so every
+  // (delay, workload, policy) cell runs in a single engine invocation.
+  RunGrid grid;
+  for (const Cycle d : delays) {
+    grid.machine(machine_variant("baseline+" + std::to_string(d) + "cy", [d](std::size_t n) {
+      MachineConfig m = baseline_machine(n);
+      m.core.l1_detect_extra = d;
+      return m;
+    }));
+  }
+  grid.workloads(workloads).policies(policies);
+  const ResultSet results = ExperimentEngine().run(grid);
+
   print_banner(std::cout, "Ablation: extra L1-miss detection delay (throughput)");
   for (const PolicyKind p : policies) {
     std::vector<std::string> headers{"workload"};
     for (const Cycle d : delays) headers.push_back("+" + std::to_string(d) + "cy");
     ReportTable table(std::move(headers));
-    std::vector<MatrixResult> results;
-    for (const Cycle d : delays) {
-      const MachineBuilder machine = [d](std::size_t n) {
-        MachineConfig m = baseline_machine(n);
-        m.core.l1_detect_extra = d;
-        return m;
-      };
-      const ExperimentConfig cfg{};
-      const std::array<PolicyKind, 1> one{p};
-      results.push_back(run_matrix(machine, workloads, one, cfg));
-    }
     std::cout << "\npolicy " << policy_name(p) << ":\n";
     for (const auto& w : workloads) {
       std::vector<std::string> row{w.name};
-      for (std::size_t i = 0; i < delays.size(); ++i) {
-        row.push_back(fmt(results[i].get(w.name, policy_name(p)).throughput, 2));
+      for (const Cycle d : delays) {
+        const std::string machine = "baseline+" + std::to_string(d) + "cy";
+        row.push_back(fmt(
+            results.get({.workload = w.name, .policy = policy_name(p), .machine = machine})
+                .throughput,
+            2));
       }
       table.add_row(std::move(row));
     }
     table.print(std::cout);
   }
+  write_bench_json("ablation_detect_delay", results);
   return 0;
 }

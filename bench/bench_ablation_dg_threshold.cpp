@@ -14,34 +14,39 @@ int main() {
   using namespace dwarn::benchutil;
 
   const std::array<unsigned, 4> thresholds{0, 1, 2, 4};
-  const MachineBuilder machine = [](std::size_t n) { return baseline_machine(n); };
 
   std::vector<WorkloadSpec> workloads;
   for (const auto& w : paper_workloads()) {
     if (w.type != WorkloadType::ILP) workloads.push_back(w);
   }
 
+  // The threshold is a policy parameter: one grid with a tagged variant
+  // per value of n.
+  RunGrid grid;
+  grid.machine(machine_spec("baseline")).workloads(workloads).policy(PolicyKind::DG);
+  for (const unsigned n : thresholds) {
+    PolicyParams params{};
+    params.dg_threshold = n;
+    grid.param_variant("n=" + std::to_string(n), params);
+  }
+  const ResultSet results = ExperimentEngine().run(grid);
+
   print_banner(std::cout, "Ablation: DG gating threshold sweep (throughput)");
   std::vector<std::string> headers{"workload"};
   for (const unsigned n : thresholds) headers.push_back("DG(n=" + std::to_string(n) + ")");
   ReportTable table(std::move(headers));
 
-  // One matrix per threshold (the threshold is a policy parameter).
-  std::vector<MatrixResult> results;
-  for (const unsigned n : thresholds) {
-    ExperimentConfig cfg{};
-    cfg.params.dg_threshold = n;
-    const std::array<PolicyKind, 1> dg{PolicyKind::DG};
-    results.push_back(run_matrix(machine, workloads, dg, cfg));
-  }
   for (const auto& w : workloads) {
     std::vector<std::string> row{w.name};
-    for (std::size_t i = 0; i < thresholds.size(); ++i) {
-      row.push_back(fmt(results[i].get(w.name, "DG").throughput, 2));
+    for (const unsigned n : thresholds) {
+      const std::string tag = "n=" + std::to_string(n);
+      row.push_back(
+          fmt(results.get({.workload = w.name, .policy = "DG", .tag = tag}).throughput, 2));
     }
     table.add_row(std::move(row));
   }
   table.print(std::cout);
+  write_bench_json("ablation_dg_threshold", results);
   std::cout << "\npaper choice: n=0 ('the same used in [3], presents the best overall results')\n";
   return 0;
 }

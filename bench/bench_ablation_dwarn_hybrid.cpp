@@ -19,16 +19,16 @@ int main() {
   using namespace dwarn;
   using namespace dwarn::benchutil;
 
-  const ExperimentConfig cfg{};
   const auto& workloads = paper_workloads();
-  const MachineBuilder machine = [](std::size_t n) { return baseline_machine(n); };
   const std::array<PolicyKind, 3> variants{PolicyKind::DWarnBasic, PolicyKind::DWarn,
                                            PolicyKind::DWarnGateAlways};
 
-  const MatrixResult matrix = run_matrix(machine, workloads, variants, cfg);
+  const ResultSet results = ExperimentEngine().run(
+      RunGrid().machine(machine_spec("baseline")).workloads(workloads).policies(variants));
 
   print_banner(std::cout, "Ablation: DWarn response-action variants (throughput)");
-  print_metric_table(std::cout, matrix, workloads, variants, throughput_metric(),
+  print_metric_table(std::cout, results, workloads, variants, throughput_metric(),
                      "throughput (IPC)");
+  write_bench_json("ablation_dwarn_hybrid", results);
   return 0;
 }

@@ -22,32 +22,38 @@ int main() {
                                       workload_by_name("4-MEM"),
                                       workload_by_name("8-MEM")};
 
+  // One grid: the declaration threshold is a machine variant.
+  RunGrid grid;
+  for (const Cycle t : thresholds) {
+    grid.machine(machine_variant("baseline,T=" + std::to_string(t), [t](std::size_t n) {
+      MachineConfig m = baseline_machine(n);
+      m.mem.l2_declare_threshold = t;
+      return m;
+    }));
+  }
+  grid.workloads(workloads).policies(policies);
+  const ResultSet results = ExperimentEngine().run(grid);
+
   print_banner(std::cout, "Ablation: L2-miss declaration threshold sweep (throughput)");
   for (const PolicyKind p : policies) {
     std::vector<std::string> headers{"workload"};
     for (const Cycle t : thresholds) headers.push_back("T=" + std::to_string(t));
     ReportTable table(std::move(headers));
-    std::vector<MatrixResult> results;
-    for (const Cycle t : thresholds) {
-      const MachineBuilder machine = [t](std::size_t n) {
-        MachineConfig m = baseline_machine(n);
-        m.mem.l2_declare_threshold = t;
-        return m;
-      };
-      const ExperimentConfig cfg{};
-      const std::array<PolicyKind, 1> one{p};
-      results.push_back(run_matrix(machine, workloads, one, cfg));
-    }
     std::cout << "\npolicy " << policy_name(p) << ":\n";
     for (const auto& w : workloads) {
       std::vector<std::string> row{w.name};
-      for (std::size_t i = 0; i < thresholds.size(); ++i) {
-        row.push_back(fmt(results[i].get(w.name, policy_name(p)).throughput, 2));
+      for (const Cycle t : thresholds) {
+        const std::string machine = "baseline,T=" + std::to_string(t);
+        row.push_back(fmt(
+            results.get({.workload = w.name, .policy = policy_name(p), .machine = machine})
+                .throughput,
+            2));
       }
       table.add_row(std::move(row));
     }
     table.print(std::cout);
   }
+  write_bench_json("ablation_l2_threshold", results);
   std::cout << "\npaper choice: 15 cycles ('presents the best overall results for our baseline')\n";
   return 0;
 }

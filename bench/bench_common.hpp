@@ -1,18 +1,24 @@
 // Shared helpers for the paper-figure bench harnesses.
 //
-// Every figure in the paper is either an absolute-metric bar chart per
-// (workload, policy) or a "DWarn improvement over policy X" chart grouped
-// by workload type. These helpers print both shapes as ASCII tables with
-// the same grouping/averaging the paper uses.
+// Every bench is a thin driver over the ExperimentEngine: it declares a
+// RunGrid, runs it once on the persistent ThreadPool, prints the paper's
+// table shapes from the ResultSet, and snapshots every run into
+// BENCH_<name>.json via ResultStore so perf trajectories are
+// machine-readable. The two table printers cover the paper's two figure
+// shapes: absolute metric per (workload, policy), and "DWarn improvement
+// over policy X" grouped by workload type.
 #pragma once
 
+#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
-#include "sim/experiment.hpp"
+#include "engine/experiment_engine.hpp"
+#include "engine/result_store.hpp"
+#include "engine/run_spec.hpp"
 #include "sim/metrics.hpp"
 #include "sim/report.hpp"
 #include "sim/workload.hpp"
@@ -34,18 +40,45 @@ inline Metric hmean_metric(const SoloIpcMap& solo) {
   };
 }
 
+/// Where BENCH_<name>.json lands: SMT_BENCH_OUT_DIR or the working dir.
+inline std::string bench_output_path(const std::string& bench_name) {
+  std::string dir;
+  if (const char* d = std::getenv("SMT_BENCH_OUT_DIR")) dir = d;
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  return dir + "BENCH_" + bench_name + ".json";
+}
+
+/// Snapshot every run of `rs` (counters included) to BENCH_<name>.json.
+inline void write_bench_json(const std::string& bench_name, const ResultSet& rs,
+                             const RunLength& len = RunLength::from_env()) {
+  ResultStore store;
+  store.set_meta("bench", bench_name);
+  store.set_meta("measure_insts", std::to_string(len.measure_insts));
+  store.set_meta("warmup_insts", std::to_string(len.warmup_insts));
+  store.add_all(rs);
+  const std::string path = bench_output_path(bench_name);
+  if (store.write_json(path)) {
+    std::cout << "\n[" << store.size() << " runs -> " << path << "]\n";
+  }
+}
+
 /// Print a per-(workload, policy) absolute metric table (Figure 1(a) shape).
-inline void print_metric_table(std::ostream& os, const MatrixResult& matrix,
+/// `key` narrows the lookup (machine/tag) for sweep benches.
+inline void print_metric_table(std::ostream& os, const ResultSet& rs,
                                std::span<const WorkloadSpec> workloads,
                                std::span<const PolicyKind> policies,
-                               const Metric& metric, const std::string& metric_name) {
+                               const Metric& metric, const std::string& metric_name,
+                               const RunKey& key = {}) {
   std::vector<std::string> headers{"workload"};
   for (const PolicyKind p : policies) headers.emplace_back(policy_name(p));
   ReportTable table(std::move(headers));
   for (const auto& w : workloads) {
     std::vector<std::string> row{w.name};
     for (const PolicyKind p : policies) {
-      row.push_back(fmt(metric(matrix.get(w.name, policy_name(p)), w), 2));
+      RunKey k = key;
+      k.workload = w.name;
+      k.policy = policy_name(p);
+      row.push_back(fmt(metric(rs.get(k), w), 2));
     }
     table.add_row(std::move(row));
   }
@@ -57,9 +90,9 @@ inline void print_metric_table(std::ostream& os, const MatrixResult& matrix,
 /// workload plus per-type averages (Figure 1(b) / Figure 3 / Figure 4/5
 /// shape). Returns the per-policy grand averages keyed by policy name.
 inline std::map<std::string, double> print_improvement_table(
-    std::ostream& os, const MatrixResult& matrix,
-    std::span<const WorkloadSpec> workloads, std::span<const PolicyKind> policies,
-    const Metric& metric, const std::string& metric_name) {
+    std::ostream& os, const ResultSet& rs, std::span<const WorkloadSpec> workloads,
+    std::span<const PolicyKind> policies, const Metric& metric,
+    const std::string& metric_name, const RunKey& key = {}) {
   std::vector<PolicyKind> others;
   for (const PolicyKind p : policies) {
     if (p != PolicyKind::DWarn) others.push_back(p);
@@ -71,12 +104,19 @@ inline std::map<std::string, double> print_improvement_table(
   }
   ReportTable table(std::move(headers));
 
+  auto lookup = [&](const WorkloadSpec& w, PolicyKind p) -> const SimResult& {
+    RunKey k = key;
+    k.workload = w.name;
+    k.policy = policy_name(p);
+    return rs.get(k);
+  };
+
   std::map<std::string, std::map<WorkloadType, std::vector<double>>> by_type;
   for (const auto& w : workloads) {
-    const double ours = metric(matrix.get(w.name, "DWarn"), w);
+    const double ours = metric(lookup(w, PolicyKind::DWarn), w);
     std::vector<std::string> row{w.name};
     for (const PolicyKind p : others) {
-      const double theirs = metric(matrix.get(w.name, policy_name(p)), w);
+      const double theirs = metric(lookup(w, p), w);
       const double imp = improvement_pct(ours, theirs);
       by_type[std::string(policy_name(p))][w.type].push_back(imp);
       row.push_back(fmt_signed_pct(imp));

@@ -44,21 +44,20 @@ int main() {
 
   print_table3(std::cout);
 
-  const ExperimentConfig cfg{};
   const auto& workloads = paper_workloads();
-  const MachineBuilder machine = [](std::size_t n) { return baseline_machine(n); };
-
-  const MatrixResult matrix = run_matrix(machine, workloads, kPaperPolicies, cfg);
+  const ResultSet results = ExperimentEngine().run(
+      RunGrid().machine(machine_spec("baseline")).workloads(workloads).policies(kPaperPolicies));
 
   print_banner(std::cout, "Figure 1(a): throughput per policy (baseline machine)");
-  print_metric_table(std::cout, matrix, workloads, kPaperPolicies, throughput_metric(),
+  print_metric_table(std::cout, results, workloads, kPaperPolicies, throughput_metric(),
                      "throughput (IPC)");
 
   print_banner(std::cout, "Figure 1(b): DWarn throughput improvement");
-  print_improvement_table(std::cout, matrix, workloads, kPaperPolicies,
+  print_improvement_table(std::cout, results, workloads, kPaperPolicies,
                           throughput_metric(), "throughput");
 
   std::cout << "\npaper reference (avg): +18% over ICOUNT; +2% ILP/+6% MIX/+7% MEM over STALL;\n"
                "+3% ILP/+8% MIX/+9% MEM over DG; +5/+13/+30 over PDG; +3 ILP/+6 MIX/-3 MEM vs FLUSH\n";
+  write_bench_json("fig1_throughput", results);
   return 0;
 }

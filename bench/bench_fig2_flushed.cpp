@@ -12,18 +12,15 @@ int main() {
   using namespace dwarn;
   using namespace dwarn::benchutil;
 
-  const ExperimentConfig cfg{};
   const auto& workloads = paper_workloads();
-  const MachineBuilder machine = [](std::size_t n) { return baseline_machine(n); };
-  const std::array<PolicyKind, 1> only_flush{PolicyKind::Flush};
-
-  const MatrixResult matrix = run_matrix(machine, workloads, only_flush, cfg);
+  const ResultSet results = ExperimentEngine().run(
+      RunGrid().machine(machine_spec("baseline")).workloads(workloads).policy(PolicyKind::Flush));
 
   print_banner(std::cout, "Figure 2: flushed instructions w.r.t. fetched (FLUSH policy)");
   ReportTable table({"workload", "flushed %", "flush events", "fetched"});
   std::map<WorkloadType, std::vector<double>> by_type;
   for (const auto& w : workloads) {
-    const SimResult& r = matrix.get(w.name, "FLUSH");
+    const SimResult& r = results.get(w.name, "FLUSH");
     const double pct = r.flushed_frac * 100.0;
     by_type[w.type].push_back(pct);
     table.add_row({w.name, fmt(pct, 1),
@@ -35,5 +32,6 @@ int main() {
   }
   table.print(std::cout);
   std::cout << "\npaper reference (avg): ILP ~7%, MIX ~2%, MEM ~35%\n";
+  write_bench_json("fig2_flushed", results);
   return 0;
 }

@@ -11,12 +11,15 @@ int main() {
   using namespace dwarn;
   using namespace dwarn::benchutil;
 
-  const ExperimentConfig cfg{};
   const auto& workloads = paper_workloads();
-  const MachineBuilder machine = [](std::size_t n) { return baseline_machine(n); };
-
-  const SoloIpcMap solo = solo_baselines(machine, workloads, cfg);
-  const MatrixResult matrix = run_matrix(machine, workloads, kPaperPolicies, cfg);
+  // One grid: every (workload, policy) cell plus the single-thread
+  // baselines used as relative-IPC denominators.
+  const ResultSet results = ExperimentEngine().run(RunGrid()
+                                                      .machine(machine_spec("baseline"))
+                                                      .workloads(workloads)
+                                                      .policies(kPaperPolicies)
+                                                      .with_solo_baselines());
+  const SoloIpcMap solo = results.solo_ipcs();
 
   print_banner(std::cout, "single-thread baseline IPCs (relative-IPC denominators)");
   {
@@ -28,12 +31,13 @@ int main() {
   }
 
   print_banner(std::cout, "Figure 3: Hmean improvement of DWarn over the other policies");
-  print_metric_table(std::cout, matrix, workloads, kPaperPolicies, hmean_metric(solo),
+  print_metric_table(std::cout, results, workloads, kPaperPolicies, hmean_metric(solo),
                      "Hmean of relative IPCs");
   std::cout << '\n';
-  print_improvement_table(std::cout, matrix, workloads, kPaperPolicies,
+  print_improvement_table(std::cout, results, workloads, kPaperPolicies,
                           hmean_metric(solo), "Hmean");
   std::cout << "\npaper reference (MIX+MEM avg): +13% over ICOUNT, +5% over STALL, +3% over\n"
                "FLUSH (-2% on MEM), +11% over DG, +36% over PDG\n";
+  write_bench_json("fig3_hmean", results);
   return 0;
 }

@@ -16,26 +16,28 @@ int main() {
   using namespace dwarn;
   using namespace dwarn::benchutil;
 
-  const ExperimentConfig cfg{};
   const std::vector<WorkloadSpec> workloads = small_machine_workloads();
-  const MachineBuilder machine = [](std::size_t n) { return small_machine(n); };
-
-  const SoloIpcMap solo = solo_baselines(machine, workloads, cfg);
-  const MatrixResult matrix = run_matrix(machine, workloads, kPaperPolicies, cfg);
+  const ResultSet results = ExperimentEngine().run(RunGrid()
+                                                      .machine(machine_spec("small"))
+                                                      .workloads(workloads)
+                                                      .policies(kPaperPolicies)
+                                                      .with_solo_baselines());
+  const SoloIpcMap solo = results.solo_ipcs();
 
   print_banner(std::cout, "Figure 4 (small machine: 4-wide, 1.4 fetch, 4 contexts)");
-  print_metric_table(std::cout, matrix, workloads, kPaperPolicies, throughput_metric(),
+  print_metric_table(std::cout, results, workloads, kPaperPolicies, throughput_metric(),
                      "throughput (IPC)");
 
   print_banner(std::cout, "Figure 4(a): DWarn throughput improvement (small machine)");
-  print_improvement_table(std::cout, matrix, workloads, kPaperPolicies,
+  print_improvement_table(std::cout, results, workloads, kPaperPolicies,
                           throughput_metric(), "throughput");
 
   print_banner(std::cout, "Figure 4(b): DWarn Hmean improvement (small machine)");
-  print_improvement_table(std::cout, matrix, workloads, kPaperPolicies,
+  print_improvement_table(std::cout, results, workloads, kPaperPolicies,
                           hmean_metric(solo), "Hmean");
 
   std::cout << "\npaper reference (MIX+MEM avg): throughput +5% vs STALL, +23% vs DG, +10% vs\n"
                "FLUSH, +40% vs PDG; Hmean +5/+28/+10/+50; ICOUNT wins MIX Hmean by ~5%\n";
+  write_bench_json("fig4_small_arch", results);
   return 0;
 }

@@ -15,23 +15,24 @@ int main() {
   using namespace dwarn;
   using namespace dwarn::benchutil;
 
-  const ExperimentConfig cfg{};
   const auto& workloads = paper_workloads();
-  const MachineBuilder machine = [](std::size_t n) { return deep_machine(n); };
-
-  const SoloIpcMap solo = solo_baselines(machine, workloads, cfg);
-  const MatrixResult matrix = run_matrix(machine, workloads, kPaperPolicies, cfg);
+  const ResultSet results = ExperimentEngine().run(RunGrid()
+                                                      .machine(machine_spec("deep"))
+                                                      .workloads(workloads)
+                                                      .policies(kPaperPolicies)
+                                                      .with_solo_baselines());
+  const SoloIpcMap solo = results.solo_ipcs();
 
   print_banner(std::cout, "Figure 5 (deep machine: 16 stages, mem 200 cycles)");
-  print_metric_table(std::cout, matrix, workloads, kPaperPolicies, throughput_metric(),
+  print_metric_table(std::cout, results, workloads, kPaperPolicies, throughput_metric(),
                      "throughput (IPC)");
 
   print_banner(std::cout, "Figure 5(a): DWarn throughput improvement (deep machine)");
-  print_improvement_table(std::cout, matrix, workloads, kPaperPolicies,
+  print_improvement_table(std::cout, results, workloads, kPaperPolicies,
                           throughput_metric(), "throughput");
 
   print_banner(std::cout, "Figure 5(b): DWarn Hmean improvement (deep machine)");
-  print_improvement_table(std::cout, matrix, workloads, kPaperPolicies,
+  print_improvement_table(std::cout, results, workloads, kPaperPolicies,
                           hmean_metric(solo), "Hmean");
 
   print_banner(std::cout, "Section 6: FLUSH re-fetch overhead on the deep machine");
@@ -39,7 +40,7 @@ int main() {
     ReportTable t({"workload", "flushed %"});
     std::map<WorkloadType, std::vector<double>> by_type;
     for (const auto& w : workloads) {
-      const SimResult& r = matrix.get(w.name, "FLUSH");
+      const SimResult& r = results.get(w.name, "FLUSH");
       const double pct = r.flushed_frac * 100.0;
       by_type[w.type].push_back(pct);
       t.add_row({w.name, fmt(pct, 1)});
@@ -52,5 +53,6 @@ int main() {
   }
   std::cout << "\npaper reference: DWarn beats all policies on average except FLUSH on MEM\n"
                "(-6%, driven by 8-MEM over-pressure); FLUSH refetches ~56% on MEM workloads\n";
+  write_bench_json("fig5_deep_arch", results);
   return 0;
 }

@@ -8,32 +8,29 @@
 // calibrated against.
 #include <iostream>
 
-#include "common/executor.hpp"
-#include "sim/experiment.hpp"
+#include "bench_common.hpp"
 #include "sim/machine_config.hpp"
-#include "sim/report.hpp"
 #include "sim/simulator.hpp"
 
 int main() {
   using namespace dwarn;
+  using namespace dwarn::benchutil;
 
-  const RunLength len = RunLength::from_env();
   print_banner(std::cout, "Table 2(a): cache behavior of isolated benchmarks");
   std::cout << "(miss rates are % of dynamic loads; paper reference in brackets)\n";
 
   ReportTable table({"bench", "L1 miss%", "[paper]", "L2 miss%", "[paper]", "L1->L2%",
                      "[paper]", "type", "IPC", "bpred acc%"});
 
-  std::vector<SimResult> results(kNumBenchmarks);
   const auto& profiles = all_profiles();
-  parallel_for(kNumBenchmarks, [&](std::size_t i) {
-    results[i] = run_simulation(baseline_machine(1), solo_workload(profiles[i].id),
-                                PolicyKind::ICount, len);
-  });
+  RunGrid grid;
+  grid.machine(machine_spec("baseline")).policy(PolicyKind::ICount);
+  for (const auto& p : profiles) grid.workload(solo_workload(p.id));
+  const ResultSet results = ExperimentEngine().run(grid);
 
   for (std::size_t i = 0; i < kNumBenchmarks; ++i) {
     const BenchmarkProfile& p = profiles[i];
-    const SimResult& r = results[i];
+    const SimResult& r = results.records()[i].result;
     const auto loads = static_cast<double>(r.counters.at("core.cloads"));
     const auto l1m = static_cast<double>(r.counters.at("core.cload_l1_misses"));
     const auto l2m = static_cast<double>(r.counters.at("core.cload_l2_misses"));
@@ -51,5 +48,6 @@ int main() {
                    fmt(acc, 1)});
   }
   table.print(std::cout);
+  write_bench_json("table2a", results);
   return 0;
 }

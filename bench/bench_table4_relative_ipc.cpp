@@ -12,13 +12,13 @@ int main() {
   using namespace dwarn;
   using namespace dwarn::benchutil;
 
-  const ExperimentConfig cfg{};
   const WorkloadSpec& workload = workload_by_name("4-MIX");
-  const std::array<WorkloadSpec, 1> workloads{workload};
-  const MachineBuilder machine = [](std::size_t n) { return baseline_machine(n); };
-
-  const SoloIpcMap solo = solo_baselines(machine, workloads, cfg);
-  const MatrixResult matrix = run_matrix(machine, workloads, kPaperPolicies, cfg);
+  const ResultSet results = ExperimentEngine().run(RunGrid()
+                                                      .machine(machine_spec("baseline"))
+                                                      .workload(workload)
+                                                      .policies(kPaperPolicies)
+                                                      .with_solo_baselines());
+  const SoloIpcMap solo = results.solo_ipcs();
 
   print_banner(std::cout, "Table 4: relative IPC of each thread in the 4-MIX workload");
   std::vector<std::string> headers{"policy"};
@@ -30,7 +30,7 @@ int main() {
   ReportTable table(std::move(headers));
 
   for (const PolicyKind p : kPaperPolicies) {
-    const SimResult& r = matrix.get(workload.name, policy_name(p));
+    const SimResult& r = results.get(workload.name, policy_name(p));
     const auto rel = relative_ipcs(r, workload, solo);
     std::vector<std::string> row{std::string(policy_name(p))};
     for (const double v : rel) row.push_back(fmt(v, 2));
@@ -38,6 +38,7 @@ int main() {
     table.add_row(std::move(row));
   }
   table.print(std::cout);
+  write_bench_json("table4_relative_ipc", results);
   std::cout << "\npaper reference: ICOUNT favors the MEM threads (0.50/0.79) but crushes ILP\n"
                "(0.36/0.41); DWarn keeps ILP high (0.44/0.69) while hurting MEM least\n"
                "(0.43/0.70), best Hmean (paper: 0.53 vs 0.47 ICOUNT, 0.38 PDG)\n";

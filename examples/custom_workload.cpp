@@ -6,8 +6,10 @@
 //   e.g.  custom_workload mcf mcf twolf gzip
 #include <iostream>
 
-#include "sim/experiment.hpp"
+#include "engine/experiment_engine.hpp"
+#include "engine/run_spec.hpp"
 #include "sim/machine_config.hpp"
+#include "sim/metrics.hpp"
 #include "sim/report.hpp"
 
 int main(int argc, char** argv) {
@@ -30,31 +32,38 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const RunLength len = RunLength::from_env();
   print_banner(std::cout, "custom workload: DWarn vs ICOUNT as contexts fill up");
   ReportTable t({"threads", "mix", "ICOUNT", "DWarn", "DWarn gain"});
 
   // Grow the workload: 1x the list, then pad with extra copies of the
-  // first benchmark until the machine is full.
+  // first benchmark until the machine is full; all sizes and both
+  // policies run as one grid on the shared pool.
+  std::vector<WorkloadSpec> sizes;
   std::vector<Benchmark> mix = base;
   while (mix.size() <= kMaxThreads) {
     WorkloadSpec w;
     w.name = "custom-" + std::to_string(mix.size());
     w.type = WorkloadType::MIX;
     w.benchmarks = mix;
-    const MachineConfig m = baseline_machine(mix.size());
-    const auto ic = run_simulation(m, w, PolicyKind::ICount, len);
-    const auto dw = run_simulation(m, w, PolicyKind::DWarn, len);
+    sizes.push_back(std::move(w));
+    if (mix.size() == kMaxThreads) break;
+    mix.push_back(base[mix.size() % base.size()]);
+  }
+  const std::array<PolicyKind, 2> policies{PolicyKind::ICount, PolicyKind::DWarn};
+  const ResultSet results = ExperimentEngine().run(
+      RunGrid().machine(machine_spec("baseline")).workloads(sizes).policies(policies));
+
+  for (const auto& w : sizes) {
+    const SimResult& ic = results.get(w.name, "ICOUNT");
+    const SimResult& dw = results.get(w.name, "DWarn");
     std::string names;
-    for (const auto b : mix) {
+    for (const auto b : w.benchmarks) {
       if (!names.empty()) names += ',';
       names += profile_of(b).name;
     }
-    t.add_row({std::to_string(mix.size()), names, fmt(ic.throughput, 2),
+    t.add_row({std::to_string(w.num_threads()), names, fmt(ic.throughput, 2),
                fmt(dw.throughput, 2),
                fmt_signed_pct(improvement_pct(dw.throughput, ic.throughput))});
-    if (mix.size() == kMaxThreads) break;
-    mix.push_back(base[mix.size() % base.size()]);
   }
   t.print(std::cout);
   std::cout << "\n(the paper's effect: the gain grows with pressure on the shared"

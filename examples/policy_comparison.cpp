@@ -7,8 +7,10 @@
 //   e.g.  policy_comparison 8-MEM
 #include <iostream>
 
-#include "sim/experiment.hpp"
+#include "engine/experiment_engine.hpp"
+#include "engine/run_spec.hpp"
 #include "sim/machine_config.hpp"
+#include "sim/metrics.hpp"
 #include "sim/report.hpp"
 
 namespace {
@@ -36,8 +38,6 @@ int main(int argc, char** argv) {
   print_taxonomy(std::cout);
 
   const WorkloadSpec& workload = workload_by_name(argc > 1 ? argv[1] : "4-MIX");
-  const ExperimentConfig cfg{};
-  const MachineBuilder machine = [](std::size_t n) { return baseline_machine(n); };
 
   const std::array<PolicyKind, 10> policies{
       PolicyKind::RoundRobin, PolicyKind::ICount,     PolicyKind::Stall,
@@ -48,14 +48,17 @@ int main(int argc, char** argv) {
   std::cout << "\nRunning " << policies.size() << " policies on " << workload.name
             << " (" << workload.num_threads() << " threads)...\n";
 
-  const std::array<WorkloadSpec, 1> ws{workload};
-  const SoloIpcMap solo = solo_baselines(machine, ws, cfg);
-  const MatrixResult matrix = run_matrix(machine, ws, policies, cfg);
+  const ResultSet results = ExperimentEngine().run(RunGrid()
+                                                      .machine(machine_spec("baseline"))
+                                                      .workload(workload)
+                                                      .policies(policies)
+                                                      .with_solo_baselines());
+  const SoloIpcMap solo = results.solo_ipcs();
 
   print_banner(std::cout, "policy comparison on " + workload.name);
   ReportTable t({"policy", "throughput", "Hmean", "wspeedup", "flushed %"});
   for (const PolicyKind p : policies) {
-    const SimResult& r = matrix.get(workload.name, policy_name(p));
+    const SimResult& r = results.get(workload.name, policy_name(p));
     t.add_row({std::string(policy_name(p)), fmt(r.throughput, 2),
                fmt(hmean_relative(r, workload, solo), 3),
                fmt(weighted_speedup(r, workload, solo), 3),
@@ -70,7 +73,7 @@ int main(int argc, char** argv) {
     return h;
   }());
   for (const PolicyKind p : policies) {
-    const SimResult& r = matrix.get(workload.name, policy_name(p));
+    const SimResult& r = results.get(workload.name, policy_name(p));
     std::vector<std::string> row{std::string(policy_name(p))};
     for (const double v : relative_ipcs(r, workload, solo)) row.push_back(fmt(v, 2));
     rt.add_row(std::move(row));

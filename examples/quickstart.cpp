@@ -7,7 +7,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "sim/experiment.hpp"
+#include "engine/experiment_engine.hpp"
+#include "engine/run_spec.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/report.hpp"
 #include "sim/simulator.hpp"
@@ -25,15 +26,16 @@ int main() {
     const auto parsed = policy_from_name(pname);
     if (parsed) policy = *parsed;
   }
-  const MachineConfig machine = baseline_machine(workload.num_threads());
-
   RunLength len = RunLength::from_env();
   std::cout << "Simulating " << workload.name << " (" << workload.num_threads()
-            << " threads) under " << policy_name(policy) << " on the " << machine.name
-            << " machine, " << len.measure_insts << " instructions after "
-            << len.warmup_insts << " warm-up...\n";
+            << " threads) under " << policy_name(policy) << " on the baseline machine, "
+            << len.measure_insts << " instructions after " << len.warmup_insts
+            << " warm-up...\n";
 
-  const SimResult res = run_simulation(machine, workload, policy, len);
+  // A single run is just a one-point grid on the ExperimentEngine.
+  const ResultSet results = ExperimentEngine().run(
+      RunGrid().machine(machine_spec("baseline")).workload(workload).policy(policy).length(len));
+  const SimResult& res = results.get(workload.name, policy_name(policy));
 
   ReportTable table({"context", "benchmark", "IPC"});
   for (std::size_t t = 0; t < workload.num_threads(); ++t) {

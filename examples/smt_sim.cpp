@@ -17,6 +17,9 @@
 #include <iostream>
 #include <string>
 
+#include "engine/experiment_engine.hpp"
+#include "engine/result_store.hpp"
+#include "engine/run_spec.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/report.hpp"
 #include "sim/simulator.hpp"
@@ -36,6 +39,8 @@ void print_usage(std::ostream& os) {
         "  --warmup N      warm-up instructions            (default 100000)\n"
         "  --seed N        workload seed                   (default 1)\n"
         "  --dg-threshold N / --dcpred-limit N   policy tunables\n"
+        "  --json FILE     write the run (counters included) as JSON\n"
+        "  --csv FILE      write a one-row CSV summary\n"
         "  --dump          print every raw counter\n"
         "  --list          list workloads, benchmarks and policies\n";
 }
@@ -60,6 +65,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   PolicyParams params;
   bool dump = false;
+  std::string json_path;
+  std::string csv_path;
 
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
@@ -80,6 +87,8 @@ int main(int argc, char** argv) {
     else if (std::strcmp(a, "--seed") == 0) seed = std::strtoull(need_value(i), nullptr, 10);
     else if (std::strcmp(a, "--dg-threshold") == 0) params.dg_threshold = static_cast<unsigned>(std::strtoul(need_value(i), nullptr, 10));
     else if (std::strcmp(a, "--dcpred-limit") == 0) params.dcpred_limit = static_cast<unsigned>(std::strtoul(need_value(i), nullptr, 10));
+    else if (std::strcmp(a, "--json") == 0) json_path = need_value(i);
+    else if (std::strcmp(a, "--csv") == 0) csv_path = need_value(i);
     else if (std::strcmp(a, "--dump") == 0) dump = true;
     else if (std::strcmp(a, "--list") == 0) { print_lists(); return 0; }
     else if (std::strcmp(a, "--help") == 0) { print_usage(std::cout); return 0; }
@@ -108,11 +117,7 @@ int main(int argc, char** argv) {
     workload = workload_by_name(workload_name);
   }
 
-  MachineConfig machine;
-  if (machine_name == "baseline") machine = baseline_machine(workload.num_threads());
-  else if (machine_name == "small") machine = small_machine(workload.num_threads());
-  else if (machine_name == "deep") machine = deep_machine(workload.num_threads());
-  else {
+  if (machine_name != "baseline" && machine_name != "small" && machine_name != "deep") {
     std::cerr << "unknown machine '" << machine_name << "'\n";
     return 1;
   }
@@ -122,7 +127,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const SimResult res = run_simulation(machine, workload, *kind, len, params, seed);
+  const ResultSet results = ExperimentEngine().run(RunGrid()
+                                                      .machine(machine_spec(machine_name))
+                                                      .workload(workload)
+                                                      .policy(*kind)
+                                                      .params(params)
+                                                      .seeds({seed})
+                                                      .length(len));
+  const SimResult& res = results.records().front().result;
 
   ReportTable t({"context", "benchmark", "IPC"});
   for (std::size_t i = 0; i < workload.num_threads(); ++i) {
@@ -141,6 +153,19 @@ int main(int argc, char** argv) {
   if (dump) {
     for (const auto& [name, value] : res.counters) {
       std::cout << "  " << name << " = " << value << "\n";
+    }
+  }
+  if (!json_path.empty() || !csv_path.empty()) {
+    ResultStore store;
+    store.set_meta("tool", "smt_sim");
+    store.set_meta("measure_insts", std::to_string(len.measure_insts));
+    store.set_meta("warmup_insts", std::to_string(len.warmup_insts));
+    store.add_all(results);
+    if (!json_path.empty() && store.write_json(json_path)) {
+      std::cout << "wrote " << json_path << "\n";
+    }
+    if (!csv_path.empty() && store.write_csv(csv_path)) {
+      std::cout << "wrote " << csv_path << "\n";
     }
   }
   return 0;

@@ -1,0 +1,44 @@
+// Hardened environment-variable parsing.
+//
+// Every run-control knob (SMT_SIM_INSTS, SMT_WARMUP_INSTS, SMT_SIM_WORKERS)
+// comes in through here: a malformed or out-of-range value must never
+// abort a sweep or silently wrap — it warns once on stderr and the caller
+// keeps its default.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace dwarn {
+
+/// Parse environment variable `name` as an unsigned integer in
+/// [`min`, `max`]. Returns nullopt (after a stderr warning) when the value
+/// is unset-empty, not fully numeric, or out of range; nullopt silently
+/// when the variable is not set at all.
+inline std::optional<std::uint64_t> env_u64(const char* name, std::uint64_t min,
+                                            std::uint64_t max) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  const bool numeric = end != v && end != nullptr && *end == '\0' && *v != '-';
+  if (!numeric || errno == ERANGE) {
+    std::fprintf(stderr, "[dwarn] warning: %s='%s' is not a valid unsigned integer; using default\n",
+                 name, v);
+    return std::nullopt;
+  }
+  if (parsed < min || parsed > max) {
+    std::fprintf(stderr,
+                 "[dwarn] warning: %s=%llu out of range [%llu, %llu]; using default\n", name,
+                 parsed, static_cast<unsigned long long>(min),
+                 static_cast<unsigned long long>(max));
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace dwarn

@@ -1,56 +1,16 @@
 #include "common/executor.hpp"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
+#include "common/thread_pool.hpp"
 
 namespace dwarn {
 
 void run_parallel(std::vector<std::function<void()>> jobs, std::size_t max_workers) {
-  if (jobs.empty()) return;
-  std::size_t workers = max_workers != 0 ? max_workers : std::thread::hardware_concurrency();
-  if (workers == 0) workers = 1;
-  if (workers > jobs.size()) workers = jobs.size();
-
-  if (workers == 1) {
-    for (auto& j : jobs) j();
-    return;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= jobs.size()) return;
-      try {
-        jobs[i]();
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-
-  if (first_error) std::rethrow_exception(first_error);
+  ThreadPool::shared().run(std::move(jobs), max_workers);
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                   std::size_t max_workers) {
-  std::vector<std::function<void()>> jobs;
-  jobs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    jobs.emplace_back([i, &body] { body(i); });
-  }
-  run_parallel(std::move(jobs), max_workers);
+  ThreadPool::shared().for_each(n, body, max_workers);
 }
 
 }  // namespace dwarn

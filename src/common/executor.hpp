@@ -1,10 +1,11 @@
-// Parallel experiment executor.
+// Parallel experiment executor (compatibility surface).
 //
 // A single simulation is inherently sequential (one global clock), but the
 // paper's evaluation is a matrix of independent runs: 6 policies x 12
-// workloads x 3 machines, plus single-thread baselines. ParallelExecutor
-// runs such independent jobs across hardware threads, which is where this
-// reproduction gets its HPC-style speedup.
+// workloads x 3 machines, plus single-thread baselines. These free
+// functions run such independent jobs on the process-wide ThreadPool —
+// one persistent set of workers shared by every matrix, bench and test —
+// instead of spawning fresh std::threads per call.
 #pragma once
 
 #include <cstddef>
@@ -13,10 +14,11 @@
 
 namespace dwarn {
 
-/// Run `jobs[i]()` for every i on up to `max_workers` std::threads
-/// (default: hardware concurrency). Blocks until all jobs complete.
-/// Exceptions thrown by jobs propagate: the first one observed is rethrown
-/// after all workers join.
+/// Run `jobs[i]()` for every i on the shared ThreadPool, with at most
+/// `max_workers` jobs in flight (0 = pool width, which honors
+/// SMT_SIM_WORKERS; 1 = sequential in submission order). Blocks until all
+/// jobs complete. Exceptions thrown by jobs propagate: the first one
+/// observed is rethrown after the batch drains.
 void run_parallel(std::vector<std::function<void()>> jobs, std::size_t max_workers = 0);
 
 /// Convenience: parallel-for over [0, n) with a chunk-free dynamic schedule.

@@ -1,0 +1,227 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+
+#include "common/env.hpp"
+
+namespace dwarn {
+
+namespace {
+/// Set while a thread is inside a pool's worker_loop: only those threads
+/// help-execute while waiting on a batch (an external caller helping too
+/// would run jobs concurrently with every worker, exceeding the
+/// configured pool width — SMT_SIM_WORKERS=1 must mean one simulation at
+/// a time).
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+}  // namespace
+
+/// Completion state shared by every job of one run()/for_each() call.
+struct ThreadPool::Batch {
+  explicit Batch(std::size_t n) : remaining(n) {}
+
+  std::atomic<std::size_t> remaining;
+  std::mutex m;
+  std::condition_variable cv;
+  std::exception_ptr error;  ///< first exception, guarded by m
+
+  void finish_one() {
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(m);
+      cv.notify_all();
+    }
+  }
+
+  void record_error() {
+    std::lock_guard<std::mutex> lock(m);
+    if (!error) error = std::current_exception();
+  }
+
+  [[nodiscard]] bool done() const {
+    return remaining.load(std::memory_order_acquire) == 0;
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = workers_from_env();
+  if (workers == 0) workers = 1;
+  queues_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_m_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+std::size_t ThreadPool::workers_from_env() {
+  if (const auto n = env_u64("SMT_SIM_WORKERS", 1, 1024)) {
+    return static_cast<std::size_t>(*n);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(0);
+  return pool;
+}
+
+void ThreadPool::push_task(std::function<void()> task) {
+  const std::size_t qi = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[qi]->m);
+    queues_[qi]->q.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_m_);
+    ++pending_;
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_run_one(std::size_t home) {
+  std::function<void()> task;
+  const std::size_t n = queues_.size();
+  for (std::size_t k = 0; k < n && !task; ++k) {
+    WorkerQueue& wq = *queues_[(home + k) % n];
+    std::lock_guard<std::mutex> lock(wq.m);
+    if (wq.q.empty()) continue;
+    if (k == 0) {  // own queue: oldest first
+      task = std::move(wq.q.front());
+      wq.q.pop_front();
+    } else {  // steal: youngest first, away from the owner's end
+      task = std::move(wq.q.back());
+      wq.q.pop_back();
+    }
+  }
+  if (!task) return false;
+  {
+    std::lock_guard<std::mutex> lock(wake_m_);
+    --pending_;
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::wait_batch(Batch& batch) {
+  // Help-while-waiting, but only from pool workers: a worker that merely
+  // slept could strand queued tasks when every worker is blocked on a
+  // nested batch, so workers execute whatever is stealable (even tasks of
+  // other batches) and re-check on a short timed wait. An external caller
+  // is not one of the pool's threads — it sleeps outright, keeping the
+  // number of concurrently running jobs at the configured pool width.
+  const bool helper = tl_worker_pool == this;
+  while (!batch.done()) {
+    if (helper && try_run_one(0)) continue;
+    std::unique_lock<std::mutex> lock(batch.m);
+    auto done = [&] { return batch.remaining.load(std::memory_order_acquire) == 0; };
+    if (helper) {
+      batch.cv.wait_for(lock, std::chrono::milliseconds(1), done);
+    } else {
+      batch.cv.wait(lock, done);
+    }
+  }
+  std::lock_guard<std::mutex> lock(batch.m);
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tl_worker_pool = this;
+  for (;;) {
+    if (try_run_one(index)) continue;
+    std::unique_lock<std::mutex> lock(wake_m_);
+    wake_cv_.wait(lock, [&] { return stop_ || pending_ > 0; });
+    if (stop_ && pending_ == 0) return;
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  auto promise = std::make_shared<std::promise<void>>();
+  std::future<void> future = promise->get_future();
+  push_task([promise, fn = std::move(fn)] {
+    try {
+      fn();
+      promise->set_value();
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return future;
+}
+
+void ThreadPool::run(std::vector<std::function<void()>> jobs, std::size_t max_concurrency) {
+  if (jobs.empty()) return;
+  if (max_concurrency == 1 || jobs.size() == 1) {
+    // Sequential in submission order on the caller's thread.
+    for (auto& j : jobs) j();
+    return;
+  }
+
+  const std::size_t workers = worker_count();
+  auto shared_jobs = std::make_shared<std::vector<std::function<void()>>>(std::move(jobs));
+
+  if (max_concurrency == 0 || max_concurrency > workers) {
+    // Fine-grained: one task per job, balanced by stealing. The caller
+    // participates, so nested batches always make progress.
+    auto batch = std::make_shared<Batch>(shared_jobs->size());
+    for (std::size_t i = 0; i < shared_jobs->size(); ++i) {
+      push_task([shared_jobs, batch, i] {
+        try {
+          (*shared_jobs)[i]();
+        } catch (...) {
+          batch->record_error();
+        }
+        batch->finish_one();
+      });
+    }
+    wait_batch(*batch);
+    return;
+  }
+
+  // Capped: `max_concurrency` runner tasks drain a shared index. The
+  // caller is one of the runners.
+  const std::size_t runners = std::min(max_concurrency, shared_jobs->size());
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto batch = std::make_shared<Batch>(runners);
+  auto runner = [shared_jobs, batch, next] {
+    for (;;) {
+      const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+      if (i >= shared_jobs->size()) break;
+      try {
+        (*shared_jobs)[i]();
+      } catch (...) {
+        batch->record_error();
+      }
+    }
+    batch->finish_one();
+  };
+  for (std::size_t r = 0; r + 1 < runners; ++r) push_task(runner);
+  runner();
+  wait_batch(*batch);
+}
+
+void ThreadPool::for_each(std::size_t n, const std::function<void(std::size_t)>& body,
+                          std::size_t max_concurrency) {
+  if (n == 0) return;
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs.emplace_back([i, &body] { body(i); });
+  }
+  run(std::move(jobs), max_concurrency);
+}
+
+}  // namespace dwarn

@@ -1,0 +1,86 @@
+// Persistent work-stealing thread pool.
+//
+// The execution layer of this repo is a grid of independent simulations;
+// before this pool existed every matrix spawned (and joined) fresh
+// std::threads. ThreadPool keeps one set of workers alive for the whole
+// process and shares them across matrices, benches and tests:
+//
+//   * each worker owns a deque; new work is sharded round-robin and idle
+//     workers steal from the back of their siblings' queues;
+//   * batch submission (run / for_each) blocks the caller, but the caller
+//     *helps execute* queued tasks while it waits, so nested batches
+//     (a job that itself calls for_each) cannot deadlock the pool;
+//   * the first exception thrown by a batch job is captured and rethrown
+//     to the batch's caller after the batch drains;
+//   * the process-wide instance (`shared()`) is sized from SMT_SIM_WORKERS
+//     (hardware concurrency when unset or invalid).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dwarn {
+
+class ThreadPool {
+ public:
+  /// `workers == 0` means workers_from_env().
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return queues_.size(); }
+
+  /// Enqueue one task; the future rethrows anything the task throws.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Run every job, blocking until all complete; the calling thread helps.
+  /// `max_concurrency` caps how many jobs run at once (0 = no cap beyond
+  /// the pool size; 1 = sequential in submission order on the caller).
+  /// The first exception observed is rethrown after the batch drains.
+  void run(std::vector<std::function<void()>> jobs, std::size_t max_concurrency = 0);
+
+  /// Parallel-for over [0, n) with a dynamic schedule; same semantics.
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& body,
+                std::size_t max_concurrency = 0);
+
+  /// Process-wide pool shared by every experiment matrix. Created on first
+  /// use, sized from SMT_SIM_WORKERS.
+  static ThreadPool& shared();
+
+  /// Hardened SMT_SIM_WORKERS parse: invalid or out-of-range values warn
+  /// and fall back to hardware concurrency (min 1).
+  [[nodiscard]] static std::size_t workers_from_env();
+
+ private:
+  struct Batch;
+  struct WorkerQueue {
+    std::mutex m;
+    std::deque<std::function<void()>> q;
+  };
+
+  void push_task(std::function<void()> task);
+  bool try_run_one(std::size_t home);  ///< pop own front / steal a sibling's back
+  void wait_batch(Batch& batch);       ///< help-execute until the batch drains
+  void worker_loop(std::size_t index);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::size_t> next_queue_{0};
+
+  std::mutex wake_m_;
+  std::condition_variable wake_cv_;
+  std::size_t pending_ = 0;  ///< queued (not yet started) tasks, guarded by wake_m_
+  bool stop_ = false;
+};
+
+}  // namespace dwarn

@@ -222,10 +222,16 @@ void SmtCore::issue_one(DynInst& d) {
       if (d.l1_miss) {
         const Cycle detect_at =
             now_ + (cfg_.l1_detect_extra > 0 ? cfg_.l1_detect_extra : 1);
-        schedule(detect_at,
-                 EventRec{EventRec::Kind::L1MissDetect, d.tid, d.dyn_id, d.ti.pc, 0, true});
-        schedule(d.complete_at,
-                 EventRec{EventRec::Kind::Fill, d.tid, d.dyn_id, d.ti.pc, 0, true});
+        // A detection that would land after the fill is moot: the front
+        // end never learns of the miss, so neither event fires. This also
+        // keeps the policies' detect/fill pairing intact (a Fill without
+        // its L1MissDetect would underflow their Dmiss counters).
+        if (detect_at < d.complete_at) {
+          schedule(detect_at, EventRec{EventRec::Kind::L1MissDetect, d.tid, d.dyn_id,
+                                       d.ti.pc, 0, true});
+          schedule(d.complete_at,
+                   EventRec{EventRec::Kind::Fill, d.tid, d.dyn_id, d.ti.pc, 0, true});
+        }
       }
       // "X cycles after issue" detection moment: declared L2 miss (or a
       // DTLB miss, which STALL/FLUSH treat the same way). Wrong-path

@@ -1,0 +1,99 @@
+#include "engine/experiment_engine.hpp"
+
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace dwarn {
+
+const RunRecord* ResultSet::find(const RunKey& key) const {
+  for (const RunRecord& r : records_) {
+    if (r.role != RunRole::Grid) continue;
+    if (r.workload.name != key.workload) continue;
+    if (r.policy != key.policy) continue;
+    if (!key.machine.empty() && r.machine != key.machine) continue;
+    if (!key.tag.empty() && r.tag != key.tag) continue;
+    if (key.seed && r.seed != *key.seed) continue;
+    return &r;
+  }
+  return nullptr;
+}
+
+const SimResult& ResultSet::get(const RunKey& key) const {
+  if (const RunRecord* r = find(key)) return r->result;
+  std::ostringstream os;
+  os << "ResultSet: no run for (workload=" << key.workload << ", policy=" << key.policy;
+  if (!key.machine.empty()) os << ", machine=" << key.machine;
+  if (!key.tag.empty()) os << ", tag=" << key.tag;
+  if (key.seed) os << ", seed=" << *key.seed;
+  os << "); available:";
+  if (records_.empty()) os << " (none)";
+  for (const RunRecord& r : records_) {
+    os << "\n  (machine=" << r.machine << ", workload=" << r.workload.name
+       << ", policy=" << r.policy;
+    if (!r.tag.empty()) os << ", tag=" << r.tag;
+    os << ", seed=" << r.seed << ", role=" << to_string(r.role) << ")";
+  }
+  throw std::out_of_range(os.str());
+}
+
+SoloIpcMap ResultSet::solo_ipcs(std::string_view machine) const {
+  // Baselines from different machines must never be mixed: relative-IPC
+  // denominators are machine-specific, so an ambiguous selection is an
+  // error rather than a silent first-match.
+  std::set<std::string> machines;
+  for (const RunRecord& r : records_) {
+    if (r.role == RunRole::Solo && (machine.empty() || r.machine == machine)) {
+      machines.insert(r.machine);
+    }
+  }
+  if (machines.size() > 1) {
+    std::ostringstream os;
+    os << "ResultSet::solo_ipcs: solo baselines exist for multiple machines (";
+    bool first = true;
+    for (const auto& m : machines) {
+      os << (first ? "" : ", ") << m;
+      first = false;
+    }
+    os << "); pass the machine name to select one";
+    throw std::logic_error(os.str());
+  }
+
+  SoloIpcMap solo;
+  for (const RunRecord& r : records_) {
+    if (r.role != RunRole::Solo) continue;
+    if (!machine.empty() && r.machine != machine) continue;
+    if (r.workload.benchmarks.empty()) continue;
+    // Multiple seeds: the first (lowest grid index) solo run wins.
+    solo.emplace(r.workload.benchmarks.front(), r.result.throughput);
+  }
+  return solo;
+}
+
+ResultSet ExperimentEngine::run(const std::vector<RunSpec>& specs) const {
+  std::vector<RunRecord> records(specs.size());
+  pool_->for_each(
+      specs.size(),
+      [&](std::size_t i) {
+        const RunSpec& s = specs[i];
+        const auto t0 = std::chrono::steady_clock::now();
+        SimResult result = run_simulation(s.machine.build(s.workload.num_threads()),
+                                          s.workload, s.policy, s.len, s.params, s.seed);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!s.machine.name.empty()) result.machine = s.machine.name;
+        RunRecord& rec = records[i];
+        rec.machine = result.machine;
+        rec.workload = s.workload;
+        rec.policy = result.policy;
+        rec.tag = s.tag;
+        rec.seed = s.seed;
+        rec.role = s.role;
+        rec.result = std::move(result);
+        rec.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+      },
+      max_workers_);
+  return ResultSet(std::move(records));
+}
+
+}  // namespace dwarn

@@ -1,0 +1,141 @@
+#include "engine/result_store.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dwarn {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// RFC 4180 field quoting: machine-variant names legitimately contain
+// commas ("baseline,T=12"), so anything unusual gets wrapped and inner
+// quotes doubled.
+std::string csv_field(std::string_view s) {
+  if (s.find_first_of(",\"\n\r") == std::string_view::npos) return std::string(s);
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void ResultStore::set_meta(std::string key, std::string value) {
+  meta_[std::move(key)] = std::move(value);
+}
+
+void ResultStore::add_all(const ResultSet& rs) {
+  records_.insert(records_.end(), rs.records().begin(), rs.records().end());
+}
+
+std::string ResultStore::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"meta\": {";
+  bool first = true;
+  for (const auto& [k, v] : meta_) {
+    os << (first ? "" : ",") << "\n    \"" << json_escape(k) << "\": \"" << json_escape(v)
+       << "\"";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"runs\": [";
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const RunRecord& r = records_[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"machine\": \"" << json_escape(r.machine)
+       << "\", \"workload\": \"" << json_escape(r.workload.name) << "\", \"policy\": \""
+       << json_escape(r.policy) << "\", \"tag\": \"" << json_escape(r.tag)
+       << "\", \"seed\": " << r.seed << ", \"role\": \"" << to_string(r.role)
+       << "\",\n     \"cycles\": " << r.result.cycles
+       << ", \"throughput\": " << fmt_double(r.result.throughput)
+       << ", \"flushed_frac\": " << fmt_double(r.result.flushed_frac)
+       << ", \"wall_seconds\": " << fmt_double(r.wall_seconds) << ",\n     \"thread_ipc\": [";
+    for (std::size_t t = 0; t < r.result.thread_ipc.size(); ++t) {
+      os << (t == 0 ? "" : ", ") << fmt_double(r.result.thread_ipc[t]);
+    }
+    os << "],\n     \"counters\": {";
+    bool cfirst = true;
+    for (const auto& [name, value] : r.result.counters) {
+      os << (cfirst ? "" : ", ") << "\"" << json_escape(name) << "\": " << value;
+      cfirst = false;
+    }
+    os << "}}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+std::string ResultStore::to_csv() const {
+  std::ostringstream os;
+  os << "machine,workload,policy,tag,seed,role,cycles,throughput,flushed_frac,wall_seconds\n";
+  for (const RunRecord& r : records_) {
+    os << csv_field(r.machine) << ',' << csv_field(r.workload.name) << ','
+       << csv_field(r.policy) << ',' << csv_field(r.tag) << ','
+       << r.seed << ',' << to_string(r.role) << ',' << r.result.cycles << ','
+       << fmt_double(r.result.throughput) << ',' << fmt_double(r.result.flushed_frac) << ','
+       << fmt_double(r.wall_seconds) << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "[dwarn] warning: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  out << content;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "[dwarn] warning: short write to '%s'\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ResultStore::write_json(const std::string& path) const {
+  return write_file(path, to_json());
+}
+
+bool ResultStore::write_csv(const std::string& path) const {
+  return write_file(path, to_csv());
+}
+
+}  // namespace dwarn

@@ -1,0 +1,52 @@
+// Structured, machine-readable experiment output.
+//
+// ResultStore snapshots finished runs (full counter set included) plus
+// free-form metadata, and serializes them to JSON or CSV. The benches use
+// it to emit BENCH_<name>.json trajectory files next to their ASCII
+// tables, so a perf trajectory can be tracked across commits without
+// scraping stdout.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/experiment_engine.hpp"
+
+namespace dwarn {
+
+/// Escape a string for embedding in a JSON string literal (quotes not
+/// included).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+class ResultStore {
+ public:
+  /// Attach free-form metadata ("bench", "measure_insts", ...), emitted in
+  /// the JSON "meta" object and as comment-free columns nowhere else.
+  void set_meta(std::string key, std::string value);
+
+  void add(const RunRecord& rec) { records_.push_back(rec); }
+  void add_all(const ResultSet& rs);
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const std::vector<RunRecord>& records() const { return records_; }
+
+  /// Full snapshot: meta + one object per run with summary metrics and
+  /// every raw counter.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Flat summary (no counters): one row per run.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write serialized output; returns false (with a stderr warning) when
+  /// the file cannot be written — a failed dump must not kill a sweep.
+  bool write_json(const std::string& path) const;
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::map<std::string, std::string> meta_;
+  std::vector<RunRecord> records_;
+};
+
+}  // namespace dwarn

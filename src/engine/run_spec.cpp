@@ -1,0 +1,128 @@
+#include "engine/run_spec.hpp"
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace dwarn {
+
+MachineSpec machine_spec(std::string_view preset) {
+  if (preset == "baseline") {
+    return {"baseline", [](std::size_t n) { return baseline_machine(n); }};
+  }
+  if (preset == "small") {
+    return {"small", [](std::size_t n) { return small_machine(n); }};
+  }
+  if (preset == "deep") {
+    return {"deep", [](std::size_t n) { return deep_machine(n); }};
+  }
+  DWARN_CHECK(false && "unknown machine preset (baseline|small|deep)");
+  return {};
+}
+
+MachineSpec machine_variant(std::string name, MachineBuilder build) {
+  return {std::move(name), std::move(build)};
+}
+
+RunGrid& RunGrid::machine(MachineSpec m) {
+  machines_.push_back(std::move(m));
+  return *this;
+}
+
+RunGrid& RunGrid::machines(std::vector<MachineSpec> ms) {
+  for (auto& m : ms) machines_.push_back(std::move(m));
+  return *this;
+}
+
+RunGrid& RunGrid::workload(WorkloadSpec w) {
+  workloads_.push_back(std::move(w));
+  return *this;
+}
+
+RunGrid& RunGrid::workloads(std::span<const WorkloadSpec> ws) {
+  workloads_.insert(workloads_.end(), ws.begin(), ws.end());
+  return *this;
+}
+
+RunGrid& RunGrid::policy(PolicyKind p) {
+  policies_.push_back(p);
+  return *this;
+}
+
+RunGrid& RunGrid::policies(std::span<const PolicyKind> ps) {
+  policies_.insert(policies_.end(), ps.begin(), ps.end());
+  return *this;
+}
+
+RunGrid& RunGrid::params(PolicyParams p) {
+  for (auto& [tag, existing] : variants_) {
+    if (tag.empty()) {
+      existing = p;
+      return *this;
+    }
+  }
+  variants_.emplace_back("", p);
+  return *this;
+}
+
+RunGrid& RunGrid::param_variant(std::string tag, PolicyParams p) {
+  variants_.emplace_back(std::move(tag), p);
+  return *this;
+}
+
+RunGrid& RunGrid::seeds(std::vector<std::uint64_t> ss) {
+  DWARN_CHECK(!ss.empty());
+  seeds_ = std::move(ss);
+  return *this;
+}
+
+RunGrid& RunGrid::length(RunLength len) {
+  len_ = len;
+  return *this;
+}
+
+RunGrid& RunGrid::with_solo_baselines(bool on) {
+  solo_ = on;
+  return *this;
+}
+
+std::vector<RunSpec> RunGrid::expand() const {
+  const std::vector<MachineSpec> machines =
+      machines_.empty() ? std::vector<MachineSpec>{machine_spec("baseline")} : machines_;
+  const std::vector<std::pair<std::string, PolicyParams>> variants =
+      variants_.empty() ? std::vector<std::pair<std::string, PolicyParams>>{{"", {}}}
+                        : variants_;
+
+  std::vector<RunSpec> specs;
+  specs.reserve(machines.size() * variants.size() * seeds_.size() *
+                (workloads_.size() * policies_.size() + (solo_ ? 8 : 0)));
+  for (const MachineSpec& m : machines) {
+    for (const auto& [tag, params] : variants) {
+      for (const std::uint64_t seed : seeds_) {
+        for (const WorkloadSpec& w : workloads_) {
+          for (const PolicyKind p : policies_) {
+            specs.push_back(RunSpec{m, w, p, params, tag, seed, len_, RunRole::Grid});
+          }
+        }
+      }
+    }
+    if (solo_) {
+      // Distinct benchmarks in deterministic (enum) order, one solo run
+      // per machine and seed under the default parameter variant.
+      std::set<Benchmark> benchmarks;
+      for (const WorkloadSpec& w : workloads_) {
+        benchmarks.insert(w.benchmarks.begin(), w.benchmarks.end());
+      }
+      for (const std::uint64_t seed : seeds_) {
+        for (const Benchmark b : benchmarks) {
+          specs.push_back(RunSpec{m, solo_workload(b), PolicyKind::ICount,
+                                  variants.front().second, variants.front().first, seed,
+                                  len_, RunRole::Solo});
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+}  // namespace dwarn

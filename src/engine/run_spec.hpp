@@ -1,0 +1,99 @@
+// Declarative description of an experiment grid.
+//
+// Every paper figure and ablation is some cross product of
+// (machine × workload × policy × params × seed), optionally with
+// single-thread baseline runs for relative-IPC metrics. RunGrid describes
+// that product declaratively; expand() turns it into a flat, deterministic
+// list of RunSpec points that the ExperimentEngine executes in parallel.
+// The expansion order is part of the contract: machines, then parameter
+// variants, then seeds, then workloads, then policies, with solo-baseline
+// runs appended per machine — so result indices are stable across worker
+// counts and across runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "policy/factory.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/simulator.hpp"
+#include "sim/workload.hpp"
+
+namespace dwarn {
+
+/// Builds a machine sized for a given thread count.
+using MachineBuilder = std::function<MachineConfig(std::size_t num_threads)>;
+
+/// A named machine builder: the name keys results and serialized output.
+struct MachineSpec {
+  std::string name;
+  MachineBuilder build;
+};
+
+/// One of the paper's presets: "baseline", "small" or "deep".
+[[nodiscard]] MachineSpec machine_spec(std::string_view preset);
+
+/// A preset with a tweak applied (for architecture ablations); the name
+/// should describe the tweak, e.g. "baseline+3cy".
+[[nodiscard]] MachineSpec machine_variant(std::string name, MachineBuilder build);
+
+/// Why a run is in the grid: a grid point proper, or a single-thread
+/// ICOUNT baseline used as a relative-IPC denominator.
+enum class RunRole : std::uint8_t { Grid, Solo };
+
+[[nodiscard]] constexpr std::string_view to_string(RunRole r) {
+  return r == RunRole::Grid ? "grid" : "solo";
+}
+
+/// One fully specified run.
+struct RunSpec {
+  MachineSpec machine;
+  WorkloadSpec workload;
+  PolicyKind policy = PolicyKind::ICount;
+  PolicyParams params{};
+  std::string tag;  ///< parameter-variant label ("" for the default)
+  std::uint64_t seed = 1;
+  RunLength len{};
+  RunRole role = RunRole::Grid;
+};
+
+/// Builder for the cross product. All setters return *this for chaining.
+class RunGrid {
+ public:
+  RunGrid& machine(MachineSpec m);
+  RunGrid& machines(std::vector<MachineSpec> ms);
+  RunGrid& workload(WorkloadSpec w);
+  RunGrid& workloads(std::span<const WorkloadSpec> ws);
+  RunGrid& policy(PolicyKind p);
+  RunGrid& policies(std::span<const PolicyKind> ps);
+  /// Replace the default (untagged) parameter set.
+  RunGrid& params(PolicyParams p);
+  /// Add a tagged parameter variant to sweep (e.g. "n=2").
+  RunGrid& param_variant(std::string tag, PolicyParams p);
+  RunGrid& seeds(std::vector<std::uint64_t> ss);
+  RunGrid& length(RunLength len);
+  /// Also run every distinct benchmark of the workloads single-threaded
+  /// under ICOUNT on each machine (the Hmean denominators).
+  RunGrid& with_solo_baselines(bool on = true);
+
+  /// Flatten to the deterministic run list described above. A grid with
+  /// no machine uses the baseline preset; a grid with workloads but no
+  /// policies produces only solo-baseline runs (when enabled).
+  [[nodiscard]] std::vector<RunSpec> expand() const;
+
+ private:
+  std::vector<MachineSpec> machines_;
+  std::vector<WorkloadSpec> workloads_;
+  std::vector<PolicyKind> policies_;
+  std::vector<std::pair<std::string, PolicyParams>> variants_;
+  std::vector<std::uint64_t> seeds_{1};
+  RunLength len_ = RunLength::from_env();
+  bool solo_ = false;
+};
+
+}  // namespace dwarn

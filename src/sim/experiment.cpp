@@ -1,22 +1,15 @@
 #include "sim/experiment.hpp"
 
-#include <cstdlib>
-#include <mutex>
-#include <set>
-#include <thread>
+#include <sstream>
+#include <stdexcept>
 
-#include "common/check.hpp"
-#include "common/executor.hpp"
+#include "common/thread_pool.hpp"
+#include "engine/experiment_engine.hpp"
 
 namespace dwarn {
 
 std::size_t ExperimentConfig::workers_from_env() {
-  if (const char* v = std::getenv("SMT_SIM_WORKERS")) {
-    const auto n = std::strtoull(v, nullptr, 10);
-    if (n > 0) return static_cast<std::size_t>(n);
-  }
-  const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : hc;
+  return ThreadPool::workers_from_env();
 }
 
 const SimResult& MatrixResult::get(std::string_view workload,
@@ -24,65 +17,52 @@ const SimResult& MatrixResult::get(std::string_view workload,
   for (const auto& r : runs_) {
     if (r.workload == workload && r.policy == policy) return r;
   }
-  DWARN_CHECK(false && "no such (workload, policy) run");
-  return runs_.front();  // unreachable
+  std::ostringstream os;
+  os << "MatrixResult: no run for (workload=" << workload << ", policy=" << policy
+     << "); available:";
+  if (runs_.empty()) os << " (none)";
+  for (const auto& r : runs_) {
+    os << "\n  (workload=" << r.workload << ", policy=" << r.policy << ")";
+  }
+  throw std::out_of_range(os.str());
 }
+
+namespace {
+
+RunGrid base_grid(const MachineBuilder& machine, std::span<const WorkloadSpec> workloads,
+                  const ExperimentConfig& cfg) {
+  RunGrid grid;
+  // Unnamed machine: the preset name the builder bakes into MachineConfig
+  // is kept on each result.
+  grid.machine(MachineSpec{"", machine})
+      .workloads(workloads)
+      .params(cfg.params)
+      .seeds({cfg.seed})
+      .length(cfg.len);
+  return grid;
+}
+
+}  // namespace
 
 MatrixResult run_matrix(const MachineBuilder& machine,
                         std::span<const WorkloadSpec> workloads,
                         std::span<const PolicyKind> policies,
                         const ExperimentConfig& cfg) {
-  struct Cell {
-    const WorkloadSpec* w;
-    PolicyKind p;
-    SimResult result;
-  };
-  std::vector<Cell> cells;
-  for (const auto& w : workloads) {
-    for (const PolicyKind p : policies) cells.push_back(Cell{&w, p, {}});
-  }
-
-  const std::size_t workers =
-      cfg.workers != 0 ? cfg.workers : ExperimentConfig::workers_from_env();
-  parallel_for(
-      cells.size(),
-      [&](std::size_t i) {
-        Cell& c = cells[i];
-        c.result = run_simulation(machine(c.w->num_threads()), *c.w, c.p, cfg.len,
-                                  cfg.params, cfg.seed);
-      },
-      workers);
-
+  RunGrid grid = base_grid(machine, workloads, cfg);
+  grid.policies(policies);
+  const ResultSet rs = ExperimentEngine(ThreadPool::shared(), cfg.workers).run(grid);
   MatrixResult out;
-  for (auto& c : cells) out.add(std::move(c.result));
+  for (const RunRecord& rec : rs.records()) out.add(rec.result);
   return out;
 }
 
 SoloIpcMap solo_baselines(const MachineBuilder& machine,
                           std::span<const WorkloadSpec> workloads,
                           const ExperimentConfig& cfg) {
-  std::set<Benchmark> benchmarks;
-  for (const auto& w : workloads) {
-    for (const Benchmark b : w.benchmarks) benchmarks.insert(b);
-  }
-  std::vector<Benchmark> list(benchmarks.begin(), benchmarks.end());
-
-  SoloIpcMap solo;
-  std::mutex mu;
-  const std::size_t workers =
-      cfg.workers != 0 ? cfg.workers : ExperimentConfig::workers_from_env();
-  parallel_for(
-      list.size(),
-      [&](std::size_t i) {
-        const Benchmark b = list[i];
-        const SimResult r = run_simulation(machine(1), solo_workload(b),
-                                           PolicyKind::ICount, cfg.len, cfg.params,
-                                           cfg.seed);
-        std::lock_guard<std::mutex> lock(mu);
-        solo.emplace(b, r.throughput);
-      },
-      workers);
-  return solo;
+  RunGrid grid = base_grid(machine, workloads, cfg);
+  grid.with_solo_baselines();
+  const ResultSet rs = ExperimentEngine(ThreadPool::shared(), cfg.workers).run(grid);
+  return rs.solo_ipcs();
 }
 
 }  // namespace dwarn

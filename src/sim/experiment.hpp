@@ -1,26 +1,24 @@
-// Experiment-matrix runner.
+// Experiment-matrix runner (legacy surface over the ExperimentEngine).
 //
 // The paper's figures are matrices of independent runs (policies x
-// workloads, plus per-benchmark solo baselines). This module executes such
-// matrices across worker threads (the runs share nothing) and provides
-// indexed access to the results. Worker count honors SMT_SIM_WORKERS.
+// workloads, plus per-benchmark solo baselines). These wrappers keep the
+// original matrix API for tests and downstream users, but execution goes
+// through engine/ExperimentEngine on the persistent ThreadPool: new code
+// should use RunGrid/ExperimentEngine directly. Worker count honors
+// SMT_SIM_WORKERS.
 #pragma once
 
-#include <functional>
 #include <span>
 #include <string_view>
 #include <vector>
 
+#include "engine/run_spec.hpp"
 #include "policy/factory.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "sim/workload.hpp"
 
 namespace dwarn {
-
-/// Builds a machine sized for a given thread count ("baseline", "small",
-/// "deep" curried over their presets).
-using MachineBuilder = std::function<MachineConfig(std::size_t num_threads)>;
 
 /// Shared knobs of one experiment.
 struct ExperimentConfig {
@@ -37,7 +35,8 @@ class MatrixResult {
  public:
   void add(SimResult r) { runs_.push_back(std::move(r)); }
 
-  /// The run for (workload, policy); aborts if absent.
+  /// The run for (workload, policy); throws std::out_of_range naming the
+  /// missing key and the available keys if absent.
   [[nodiscard]] const SimResult& get(std::string_view workload,
                                      std::string_view policy) const;
 

@@ -2,17 +2,21 @@
 
 #include <cstdlib>
 
+#include "common/env.hpp"
 #include "common/rng.hpp"
 
 namespace dwarn {
 
 RunLength RunLength::from_env() {
+  // Invalid or out-of-range values warn (inside env_u64) and keep the
+  // defaults: a typo in a sweep script must not wrap to a garbage window.
+  constexpr std::uint64_t kMaxInsts = 1'000'000'000'000ull;  // 1T, far past any run
   RunLength len;
-  if (const char* v = std::getenv("SMT_SIM_INSTS")) {
-    len.measure_insts = std::strtoull(v, nullptr, 10);
+  if (const auto v = env_u64("SMT_SIM_INSTS", 1, kMaxInsts)) {
+    len.measure_insts = *v;
   }
-  if (const char* v = std::getenv("SMT_WARMUP_INSTS")) {
-    len.warmup_insts = std::strtoull(v, nullptr, 10);
+  if (const auto v = env_u64("SMT_WARMUP_INSTS", 0, kMaxInsts)) {
+    len.warmup_insts = *v;
   }
   return len;
 }
