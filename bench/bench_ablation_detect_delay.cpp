@@ -31,10 +31,11 @@ int main() {
       return m;
     }));
   }
-  grid.workloads(workloads).policies(policies);
+  grid.workloads(workloads).policies(policies).seeds(bench_seed_list());
   const ResultSet results = ExperimentEngine().run(grid);
 
-  print_banner(std::cout, "Ablation: extra L1-miss detection delay (throughput)");
+  print_banner(std::cout,
+               "Ablation: extra L1-miss detection delay (throughput, mean ± 95% CI)");
   for (const PolicyKind p : policies) {
     std::vector<std::string> headers{"workload"};
     for (const Cycle d : delays) headers.push_back("+" + std::to_string(d) + "cy");
@@ -44,15 +45,14 @@ int main() {
       std::vector<std::string> row{w.name};
       for (const Cycle d : delays) {
         const std::string machine = "baseline+" + std::to_string(d) + "cy";
-        row.push_back(fmt(
-            results.get({.workload = w.name, .policy = policy_name(p), .machine = machine})
-                .throughput,
-            2));
+        const analysis::SampleStats s = analysis::summarize(analysis::collect_values(
+            results, {.workload = w.name, .policy = policy_name(p), .machine = machine},
+            analysis::throughput_metric()));
+        row.push_back(analysis::fmt_mean_ci(s));
       }
       table.add_row(std::move(row));
     }
     table.print(std::cout);
   }
-  write_bench_json("ablation_detect_delay", results);
-  return 0;
+  return write_bench_json("ablation_detect_delay", results) ? 0 : 1;
 }

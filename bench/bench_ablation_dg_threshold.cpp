@@ -46,7 +46,6 @@ int main() {
     table.add_row(std::move(row));
   }
   table.print(std::cout);
-  write_bench_json("ablation_dg_threshold", results);
   std::cout << "\npaper choice: n=0 ('the same used in [3], presents the best overall results')\n";
-  return 0;
+  return write_bench_json("ablation_dg_threshold", results) ? 0 : 1;
 }

@@ -29,6 +29,5 @@ int main() {
   print_banner(std::cout, "Ablation: DWarn response-action variants (throughput)");
   print_metric_table(std::cout, results, workloads, variants, throughput_metric(),
                      "throughput (IPC)");
-  write_bench_json("ablation_dwarn_hybrid", results);
-  return 0;
+  return write_bench_json("ablation_dwarn_hybrid", results) ? 0 : 1;
 }

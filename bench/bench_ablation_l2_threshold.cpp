@@ -53,7 +53,6 @@ int main() {
     }
     table.print(std::cout);
   }
-  write_bench_json("ablation_l2_threshold", results);
   std::cout << "\npaper choice: 15 cycles ('presents the best overall results for our baseline')\n";
-  return 0;
+  return write_bench_json("ablation_l2_threshold", results) ? 0 : 1;
 }

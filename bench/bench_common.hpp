@@ -9,13 +9,18 @@
 // over policy X" grouped by workload type.
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "analysis/sample_stats.hpp"
+#include "analysis/seed_sweep.hpp"
+#include "common/env.hpp"
 #include "engine/experiment_engine.hpp"
 #include "engine/result_store.hpp"
 #include "engine/run_spec.hpp"
@@ -40,26 +45,50 @@ inline Metric hmean_metric(const SoloIpcMap& solo) {
   };
 }
 
-/// Where BENCH_<name>.json lands: SMT_BENCH_OUT_DIR or the working dir.
+/// Replication seeds for a bench grid: seed_list(SMT_BENCH_SEEDS),
+/// defaulting to the single seed {1} (the paper's point-estimate mode).
+inline std::vector<std::uint64_t> bench_seed_list() {
+  return seed_list(env_u64("SMT_BENCH_SEEDS", 1, 64).value_or(1));
+}
+
+/// Where BENCH_<name>.json lands: SMT_BENCH_OUT_DIR (created on demand)
+/// or the working dir.
 inline std::string bench_output_path(const std::string& bench_name) {
   std::string dir;
   if (const char* d = std::getenv("SMT_BENCH_OUT_DIR")) dir = d;
-  if (!dir.empty() && dir.back() != '/') dir += '/';
+  if (!dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      std::cerr << "[dwarn] error: cannot create SMT_BENCH_OUT_DIR '" << dir
+                << "': " << ec.message() << "\n";
+    }
+    if (dir.back() != '/') dir += '/';
+  }
   return dir + "BENCH_" + bench_name + ".json";
 }
 
 /// Snapshot every run of `rs` (counters included) to BENCH_<name>.json.
-inline void write_bench_json(const std::string& bench_name, const ResultSet& rs,
-                             const RunLength& len = RunLength::from_env()) {
+/// Returns false after a loud stderr message when the snapshot cannot be
+/// written — benches exit nonzero on that, a lost trajectory file must
+/// fail CI rather than silently drop a data point.
+[[nodiscard]] inline bool write_bench_json(const std::string& bench_name,
+                                           const ResultSet& rs,
+                                           const RunLength& len = RunLength::from_env()) {
   ResultStore store;
   store.set_meta("bench", bench_name);
+  store.set_meta("schema", "1");
   store.set_meta("measure_insts", std::to_string(len.measure_insts));
   store.set_meta("warmup_insts", std::to_string(len.warmup_insts));
   store.add_all(rs);
   const std::string path = bench_output_path(bench_name);
-  if (store.write_json(path)) {
-    std::cout << "\n[" << store.size() << " runs -> " << path << "]\n";
+  if (!store.write_json(path)) {
+    std::cerr << "[dwarn] error: bench snapshot '" << path
+              << "' could not be written; failing the bench\n";
+    return false;
   }
+  std::cout << "\n[" << store.size() << " runs -> " << path << "]\n";
+  return true;
 }
 
 /// Print a per-(workload, policy) absolute metric table (Figure 1(a) shape).
@@ -147,6 +176,123 @@ inline std::map<std::string, double> print_improvement_table(
     table.add_row(std::move(row));
   }
   os << "DWarn " << metric_name << " improvement over each policy:\n";
+  table.print(os);
+  return grand;
+}
+
+/// Print a per-(workload, policy) "mean ± 95% CI" metric table: the CI
+/// version of print_metric_table, aggregating across every seed in the
+/// grid via the analysis subsystem. With a single seed the half-width
+/// collapses to ±0.00 and the means match the point-estimate table.
+inline void print_ci_metric_table(std::ostream& os, const ResultSet& rs,
+                                  std::span<const WorkloadSpec> workloads,
+                                  std::span<const PolicyKind> policies,
+                                  const analysis::RecordMetric& metric,
+                                  const std::string& metric_name,
+                                  const RunKey& key = {},
+                                  const analysis::BootstrapConfig& cfg = {}) {
+  std::vector<std::string> headers{"workload"};
+  for (const PolicyKind p : policies) headers.emplace_back(policy_name(p));
+  ReportTable table(std::move(headers));
+  std::size_t n = 0;
+  for (const auto& w : workloads) {
+    std::vector<std::string> row{w.name};
+    for (const PolicyKind p : policies) {
+      RunKey k = key;
+      k.workload = w.name;
+      k.policy = policy_name(p);
+      const analysis::SampleStats s =
+          analysis::summarize(analysis::collect_values(rs, k, metric), cfg);
+      n = std::max(n, s.n);
+      row.push_back(analysis::fmt_mean_ci(s));
+    }
+    table.add_row(std::move(row));
+  }
+  os << metric_name << " per policy (mean ± 95% CI over " << n << " seed"
+     << (n == 1 ? "" : "s") << "):\n";
+  table.print(os);
+}
+
+/// Print DWarn's paired per-seed improvement over every other policy with
+/// a 95% CI on the delta (the CI version of print_improvement_table).
+/// The avg rows pool the per-seed deltas of all workloads of a type.
+/// Returns the grand-average delta stats keyed by policy name.
+inline std::map<std::string, analysis::SampleStats> print_ci_improvement_table(
+    std::ostream& os, const ResultSet& rs, std::span<const WorkloadSpec> workloads,
+    std::span<const PolicyKind> policies, const analysis::RecordMetric& metric,
+    const std::string& metric_name, const RunKey& key = {},
+    const analysis::BootstrapConfig& cfg = {}) {
+  std::vector<PolicyKind> others;
+  for (const PolicyKind p : policies) {
+    if (p != PolicyKind::DWarn) others.push_back(p);
+  }
+
+  // One paired comparison per opponent; per-seed deltas pooled per
+  // workload across every (machine, tag) the key filter admits, so a
+  // multi-variant grid contributes all its replications to a cell rather
+  // than just the first variant's.
+  std::map<std::string, std::map<std::string, std::vector<double>>> by_policy;
+  for (const PolicyKind p : others) {
+    auto& per_workload = by_policy[std::string(policy_name(p))];
+    for (const analysis::PairedRow& pr :
+         analysis::paired_comparison(rs, "DWarn", policy_name(p), metric, cfg)) {
+      if (!key.machine.empty() && pr.machine != key.machine) continue;
+      if (!key.tag.empty() && pr.tag != key.tag) continue;
+      auto& pooled = per_workload[pr.workload];
+      pooled.insert(pooled.end(), pr.delta_pct.begin(), pr.delta_pct.end());
+    }
+  }
+
+  std::vector<std::string> headers{"workload"};
+  for (const PolicyKind p : others) {
+    headers.push_back("DWarn/" + std::string(policy_name(p)));
+  }
+  ReportTable table(std::move(headers));
+
+  std::map<std::string, std::map<WorkloadType, std::vector<double>>> by_type;
+  for (const auto& w : workloads) {
+    std::vector<std::string> row{w.name};
+    for (const PolicyKind p : others) {
+      const auto& per_workload = by_policy.at(std::string(policy_name(p)));
+      const auto it = per_workload.find(w.name);
+      if (it == per_workload.end() || it->second.empty()) {
+        // No pairable runs survived the filter (e.g. a policy missing
+        // from the grid); report it rather than aborting the table.
+        row.push_back("n/a");
+        continue;
+      }
+      auto& pooled = by_type[std::string(policy_name(p))][w.type];
+      pooled.insert(pooled.end(), it->second.begin(), it->second.end());
+      const analysis::SampleStats s = analysis::summarize(it->second, cfg);
+      row.push_back(fmt_signed_pct(s.mean) + " ± " + fmt(s.ci_halfwidth(), 1));
+    }
+    table.add_row(std::move(row));
+  }
+  std::map<std::string, analysis::SampleStats> grand;
+  for (const WorkloadType t : {WorkloadType::ILP, WorkloadType::MIX, WorkloadType::MEM}) {
+    std::vector<std::string> row{"avg-" + std::string(to_string(t))};
+    for (const PolicyKind p : others) {
+      const analysis::SampleStats s =
+          analysis::summarize(by_type[std::string(policy_name(p))][t], cfg);
+      row.push_back(fmt_signed_pct(s.mean) + " ± " + fmt(s.ci_halfwidth(), 1));
+    }
+    table.add_row(std::move(row));
+  }
+  {
+    std::vector<std::string> row{"avg"};
+    for (const PolicyKind p : others) {
+      std::vector<double> all;
+      for (auto& [t, v] : by_type[std::string(policy_name(p))]) {
+        all.insert(all.end(), v.begin(), v.end());
+      }
+      const analysis::SampleStats s = analysis::summarize(all, cfg);
+      grand[std::string(policy_name(p))] = s;
+      row.push_back(fmt_signed_pct(s.mean) + " ± " + fmt(s.ci_halfwidth(), 1));
+    }
+    table.add_row(std::move(row));
+  }
+  os << "DWarn " << metric_name
+     << " improvement over each policy (paired per-seed deltas, mean ± 95% CI):\n";
   table.print(os);
   return grand;
 }

@@ -45,19 +45,23 @@ int main() {
   print_table3(std::cout);
 
   const auto& workloads = paper_workloads();
-  const ResultSet results = ExperimentEngine().run(
-      RunGrid().machine(machine_spec("baseline")).workloads(workloads).policies(kPaperPolicies));
+  // SMT_BENCH_SEEDS replicates every cell; the tables then carry
+  // bootstrap CIs instead of single-run point estimates.
+  const ResultSet results = ExperimentEngine().run(RunGrid()
+                                                      .machine(machine_spec("baseline"))
+                                                      .workloads(workloads)
+                                                      .policies(kPaperPolicies)
+                                                      .seeds(bench_seed_list()));
 
   print_banner(std::cout, "Figure 1(a): throughput per policy (baseline machine)");
-  print_metric_table(std::cout, results, workloads, kPaperPolicies, throughput_metric(),
-                     "throughput (IPC)");
+  print_ci_metric_table(std::cout, results, workloads, kPaperPolicies,
+                        analysis::throughput_metric(), "throughput (IPC)");
 
   print_banner(std::cout, "Figure 1(b): DWarn throughput improvement");
-  print_improvement_table(std::cout, results, workloads, kPaperPolicies,
-                          throughput_metric(), "throughput");
+  print_ci_improvement_table(std::cout, results, workloads, kPaperPolicies,
+                             analysis::throughput_metric(), "throughput");
 
   std::cout << "\npaper reference (avg): +18% over ICOUNT; +2% ILP/+6% MIX/+7% MEM over STALL;\n"
                "+3% ILP/+8% MIX/+9% MEM over DG; +5/+13/+30 over PDG; +3 ILP/+6 MIX/-3 MEM vs FLUSH\n";
-  write_bench_json("fig1_throughput", results);
-  return 0;
+  return write_bench_json("fig1_throughput", results) ? 0 : 1;
 }

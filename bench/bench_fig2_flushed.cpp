@@ -32,6 +32,5 @@ int main() {
   }
   table.print(std::cout);
   std::cout << "\npaper reference (avg): ILP ~7%, MIX ~2%, MEM ~35%\n";
-  write_bench_json("fig2_flushed", results);
-  return 0;
+  return write_bench_json("fig2_flushed", results) ? 0 : 1;
 }

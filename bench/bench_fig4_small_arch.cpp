@@ -38,6 +38,5 @@ int main() {
 
   std::cout << "\npaper reference (MIX+MEM avg): throughput +5% vs STALL, +23% vs DG, +10% vs\n"
                "FLUSH, +40% vs PDG; Hmean +5/+28/+10/+50; ICOUNT wins MIX Hmean by ~5%\n";
-  write_bench_json("fig4_small_arch", results);
-  return 0;
+  return write_bench_json("fig4_small_arch", results) ? 0 : 1;
 }

@@ -53,6 +53,5 @@ int main() {
   }
   std::cout << "\npaper reference: DWarn beats all policies on average except FLUSH on MEM\n"
                "(-6%, driven by 8-MEM over-pressure); FLUSH refetches ~56% on MEM workloads\n";
-  write_bench_json("fig5_deep_arch", results);
-  return 0;
+  return write_bench_json("fig5_deep_arch", results) ? 0 : 1;
 }

@@ -48,6 +48,5 @@ int main() {
                    fmt(acc, 1)});
   }
   table.print(std::cout);
-  write_bench_json("table2a", results);
-  return 0;
+  return write_bench_json("table2a", results) ? 0 : 1;
 }

@@ -38,9 +38,8 @@ int main() {
     table.add_row(std::move(row));
   }
   table.print(std::cout);
-  write_bench_json("table4_relative_ipc", results);
   std::cout << "\npaper reference: ICOUNT favors the MEM threads (0.50/0.79) but crushes ILP\n"
                "(0.36/0.41); DWarn keeps ILP high (0.44/0.69) while hurting MEM least\n"
                "(0.43/0.70), best Hmean (paper: 0.53 vs 0.47 ICOUNT, 0.38 PDG)\n";
-  return 0;
+  return write_bench_json("table4_relative_ipc", results) ? 0 : 1;
 }

@@ -1,0 +1,65 @@
+// Minimal JSON document model + recursive-descent parser.
+//
+// The analysis subsystem must read back the BENCH_*.json snapshots the
+// benches emit (docs/bench_json.md) without external dependencies, so this
+// is a small, strict RFC 8259 subset parser: objects, arrays, strings with
+// escapes, doubles, bools, null. Errors throw std::runtime_error with
+// line/column context. It is not a streaming parser — snapshots are a few
+// MB at most.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace dwarn::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// std::map keeps member iteration deterministic (sorted by key).
+using Object = std::map<std::string, Value>;
+
+/// One JSON value. Accessors throw std::runtime_error on type mismatch —
+/// a malformed snapshot must fail loudly, never read as zeros.
+class Value {
+ public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}
+  Value(bool b) : v_(b) {}
+  Value(double d) : v_(d) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  /// Object member lookup; throws naming the missing key.
+  [[nodiscard]] const Value& at(std::string_view key) const;
+
+ private:
+  [[noreturn]] void type_error(const char* wanted) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Parse one complete document (trailing whitespace allowed, trailing
+/// garbage is an error). Throws std::runtime_error on malformed input.
+[[nodiscard]] Value parse(std::string_view text);
+
+}  // namespace dwarn::json

@@ -1,0 +1,69 @@
+#include "analysis/sample_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sim/report.hpp"
+
+namespace dwarn::analysis {
+
+SampleStats summarize(std::span<const double> xs, const BootstrapConfig& cfg) {
+  SampleStats s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+
+  double sum = 0.0;
+  s.min = xs.front();
+  s.max = xs.front();
+  for (const double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+
+  if (xs.size() == 1) {
+    s.ci_lo = s.ci_hi = s.mean;
+    return s;
+  }
+
+  double sq = 0.0;
+  for (const double x : xs) sq += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(xs.size() - 1));
+
+  // Percentile bootstrap on the mean: resample n values with replacement,
+  // record the resample mean, take the (alpha/2, 1-alpha/2) quantiles.
+  DWARN_CHECK(cfg.resamples > 0);
+  DWARN_CHECK(cfg.confidence > 0.0 && cfg.confidence < 1.0);
+  Xoshiro256 rng(cfg.seed);
+  std::vector<double> means;
+  means.reserve(cfg.resamples);
+  for (std::size_t r = 0; r < cfg.resamples; ++r) {
+    double rsum = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      rsum += xs[rng.next_below(xs.size())];
+    }
+    means.push_back(rsum / static_cast<double>(xs.size()));
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = 1.0 - cfg.confidence;
+  const auto quantile = [&](double q) {
+    const double idx = q * static_cast<double>(means.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, means.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return means[lo] * (1.0 - frac) + means[hi] * frac;
+  };
+  s.ci_lo = quantile(alpha / 2.0);
+  s.ci_hi = quantile(1.0 - alpha / 2.0);
+  return s;
+}
+
+std::string fmt_mean_ci(const SampleStats& s, int decimals) {
+  return fmt(s.mean, decimals) + " ± " + fmt(s.ci_halfwidth(), decimals);
+}
+
+}  // namespace dwarn::analysis

@@ -1,0 +1,50 @@
+// Replication statistics for multi-seed sweeps.
+//
+// The paper's tables are single-run point estimates; our trace substrate
+// is synthetic and seeded, so every reported metric can be replicated
+// across seeds and summarized with uncertainty. SampleStats carries the
+// summary (mean, stddev, min/max) plus a bootstrap percentile confidence
+// interval on the mean — nonparametric, because per-seed metric
+// distributions are small (4–32 samples) and not normal. The bootstrap is
+// seeded and therefore deterministic: the same sample vector always yields
+// the same interval.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace dwarn::analysis {
+
+/// Controls for the bootstrap CI. The defaults (2000 resamples, 95%)
+/// are standard; the seed only drives resampling, not the simulation.
+struct BootstrapConfig {
+  std::size_t resamples = 2000;
+  double confidence = 0.95;
+  std::uint64_t seed = 0x5eedc0ffee;
+};
+
+/// Summary of one metric across seeds.
+struct SampleStats {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample stddev (n-1 denominator); 0 when n < 2
+  double min = 0.0;
+  double max = 0.0;
+  double ci_lo = 0.0;  ///< bootstrap percentile CI on the mean
+  double ci_hi = 0.0;
+
+  /// Half-width of the CI (the "±" the tables print).
+  [[nodiscard]] double ci_halfwidth() const { return (ci_hi - ci_lo) / 2.0; }
+};
+
+/// Summarize a sample. n == 0 yields all zeros; n == 1 collapses the CI
+/// to the single value (no resampling variance to estimate).
+[[nodiscard]] SampleStats summarize(std::span<const double> xs,
+                                    const BootstrapConfig& cfg = {});
+
+/// "mean ± halfwidth" with `decimals` places (e.g. "3.14 ± 0.05").
+[[nodiscard]] std::string fmt_mean_ci(const SampleStats& s, int decimals = 2);
+
+}  // namespace dwarn::analysis

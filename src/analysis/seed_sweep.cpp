@@ -1,0 +1,101 @@
+#include "analysis/seed_sweep.hpp"
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "sim/metrics.hpp"
+
+namespace dwarn::analysis {
+
+RecordMetric throughput_metric() {
+  return [](const RunRecord& r) { return r.result.throughput; };
+}
+
+RecordMetric flushed_frac_metric() {
+  return [](const RunRecord& r) { return r.result.flushed_frac; };
+}
+
+RecordMetric hmean_metric(const ResultSet& rs, std::string_view machine) {
+  // One denominator map per seed: a seed's mix runs and solo runs share
+  // trace streams, so dividing across seeds would mix replications.
+  auto solos = std::make_shared<std::map<std::uint64_t, SoloIpcMap>>();
+  for (const RunRecord& r : rs.records()) {
+    if (r.role != RunRole::Solo) continue;
+    if (!solos->contains(r.seed)) {
+      (*solos)[r.seed] = rs.solo_ipcs(machine, r.seed);
+    }
+  }
+  return [solos](const RunRecord& r) {
+    return hmean_relative(r.result, r.workload, solos->at(r.seed));
+  };
+}
+
+std::vector<SweepRow> sweep_stats(const ResultSet& rs, const RecordMetric& metric,
+                                  const BootstrapConfig& cfg) {
+  std::vector<SweepRow> rows;
+  std::map<std::tuple<std::string, std::string, std::string, std::string>, std::size_t>
+      index;
+  for (const RunRecord& r : rs.records()) {
+    if (r.role != RunRole::Grid) continue;
+    auto key = std::make_tuple(r.machine, r.workload.name, r.policy, r.tag);
+    auto [it, inserted] = index.emplace(key, rows.size());
+    if (inserted) {
+      rows.push_back(SweepRow{{r.machine, r.workload.name, r.policy, r.tag}, {}, {}, {}});
+    }
+    SweepRow& row = rows[it->second];
+    row.seeds.push_back(r.seed);
+    row.values.push_back(metric(r));
+  }
+  for (SweepRow& row : rows) row.stats = summarize(row.values, cfg);
+  return rows;
+}
+
+std::vector<double> collect_values(const ResultSet& rs, const RunKey& key,
+                                   const RecordMetric& metric) {
+  std::vector<double> values;
+  for (const RunRecord& r : rs.records()) {
+    if (r.role != RunRole::Grid) continue;
+    if (!key.workload.empty() && r.workload.name != key.workload) continue;
+    if (!key.policy.empty() && r.policy != key.policy) continue;
+    if (!key.machine.empty() && r.machine != key.machine) continue;
+    if (!key.tag.empty() && r.tag != key.tag) continue;
+    values.push_back(metric(r));
+  }
+  return values;
+}
+
+std::vector<PairedRow> paired_comparison(const ResultSet& rs, std::string_view policy_a,
+                                         std::string_view policy_b,
+                                         const RecordMetric& metric,
+                                         const BootstrapConfig& cfg) {
+  // Index policy-B runs by (machine, workload, tag, seed) for pairing.
+  std::map<std::tuple<std::string, std::string, std::string, std::uint64_t>,
+           const RunRecord*>
+      b_runs;
+  for (const RunRecord& r : rs.records()) {
+    if (r.role != RunRole::Grid || r.policy != policy_b) continue;
+    b_runs.emplace(std::make_tuple(r.machine, r.workload.name, r.tag, r.seed), &r);
+  }
+
+  std::vector<PairedRow> rows;
+  std::map<std::tuple<std::string, std::string, std::string>, std::size_t> index;
+  for (const RunRecord& a : rs.records()) {
+    if (a.role != RunRole::Grid || a.policy != policy_a) continue;
+    const auto bit =
+        b_runs.find(std::make_tuple(a.machine, a.workload.name, a.tag, a.seed));
+    if (bit == b_runs.end()) continue;
+    auto key = std::make_tuple(a.machine, a.workload.name, a.tag);
+    auto [it, inserted] = index.emplace(key, rows.size());
+    if (inserted) {
+      rows.push_back(PairedRow{a.machine, a.workload.name, a.tag, {}, {}, {}});
+    }
+    PairedRow& row = rows[it->second];
+    row.seeds.push_back(a.seed);
+    row.delta_pct.push_back(improvement_pct(metric(a), metric(*bit->second)));
+  }
+  for (PairedRow& row : rows) row.stats = summarize(row.delta_pct, cfg);
+  return rows;
+}
+
+}  // namespace dwarn::analysis

@@ -1,0 +1,89 @@
+// Multi-seed sweep aggregation and paired policy comparison.
+//
+// A ResultSet that ran a grid over several seeds holds one RunRecord per
+// (machine, workload, policy, tag, seed). SeedSweep collapses the seed
+// axis: group grid records by everything-but-seed, extract one metric
+// value per seed, and summarize with SampleStats. PairedComparison goes a
+// step further for policy claims ("DWarn beats ICOUNT by X%"): because
+// seeds are paired — the same seed drives the same trace streams under
+// both policies — it computes the per-seed improvement delta and puts the
+// confidence interval on the *delta*, which is much tighter than comparing
+// two independent intervals.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/sample_stats.hpp"
+#include "engine/experiment_engine.hpp"
+
+namespace dwarn::analysis {
+
+/// Metric extracted from one finished run record.
+using RecordMetric = std::function<double(const RunRecord&)>;
+
+/// Metric: throughput (sum of per-thread IPCs).
+[[nodiscard]] RecordMetric throughput_metric();
+
+/// Metric: fraction of fetched instructions squashed by FLUSH.
+[[nodiscard]] RecordMetric flushed_frac_metric();
+
+/// Metric: Hmean of relative IPCs. Precomputes one solo-baseline map per
+/// seed from the solo runs in `rs` (the grid must have been expanded with
+/// with_solo_baselines()), so each seed's mix runs divide by the same
+/// seed's solo runs. Pass `machine` when several machines hold solo runs.
+[[nodiscard]] RecordMetric hmean_metric(const ResultSet& rs, std::string_view machine = {});
+
+/// Everything that identifies a sweep cell except the seed.
+struct SweepKey {
+  std::string machine;
+  std::string workload;
+  std::string policy;
+  std::string tag;
+
+  friend bool operator==(const SweepKey&, const SweepKey&) = default;
+};
+
+/// One sweep cell: the per-seed metric values and their summary.
+struct SweepRow {
+  SweepKey key;
+  std::vector<std::uint64_t> seeds;  ///< record order, aligned with values
+  std::vector<double> values;
+  SampleStats stats;
+};
+
+/// Collapse the seed axis of every grid run in `rs`. Rows appear in
+/// first-record order (i.e. grid expansion order), so output is
+/// deterministic. Solo-baseline records are excluded.
+[[nodiscard]] std::vector<SweepRow> sweep_stats(const ResultSet& rs,
+                                                const RecordMetric& metric,
+                                                const BootstrapConfig& cfg = {});
+
+/// Per-seed metric values of the grid runs matching `key` (machine/tag
+/// empty = wildcard, seed ignored), in record order. The building block
+/// for per-cell CI table printing.
+[[nodiscard]] std::vector<double> collect_values(const ResultSet& rs, const RunKey& key,
+                                                 const RecordMetric& metric);
+
+/// One paired (workload, machine, tag) comparison of two policies.
+struct PairedRow {
+  std::string machine;
+  std::string workload;
+  std::string tag;
+  std::vector<std::uint64_t> seeds;   ///< seeds present under both policies
+  std::vector<double> delta_pct;      ///< per-seed improvement of A over B, %
+  SampleStats stats;                  ///< summary of delta_pct
+};
+
+/// Pair every grid run of `policy_a` with the same-(machine, workload,
+/// tag, seed) run of `policy_b` and compute improvement_pct(a, b) per
+/// seed. Seeds present under only one policy are skipped.
+[[nodiscard]] std::vector<PairedRow> paired_comparison(const ResultSet& rs,
+                                                       std::string_view policy_a,
+                                                       std::string_view policy_b,
+                                                       const RecordMetric& metric,
+                                                       const BootstrapConfig& cfg = {});
+
+}  // namespace dwarn::analysis

@@ -1,0 +1,219 @@
+#include "analysis/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/json.hpp"
+#include "sim/report.hpp"
+
+namespace dwarn::analysis {
+
+namespace {
+
+RunRecord parse_run(const json::Value& v) {
+  RunRecord rec;
+  rec.machine = v.at("machine").as_string();
+  rec.workload.name = v.at("workload").as_string();
+  rec.policy = v.at("policy").as_string();
+  rec.tag = v.at("tag").as_string();
+  rec.seed = static_cast<std::uint64_t>(v.at("seed").as_number());
+  const std::string& role = v.at("role").as_string();
+  if (role != "grid" && role != "solo") {
+    throw std::runtime_error("snapshot: unknown run role '" + role + "'");
+  }
+  rec.role = role == "grid" ? RunRole::Grid : RunRole::Solo;
+  rec.result.machine = rec.machine;
+  rec.result.workload = rec.workload.name;
+  rec.result.policy = rec.policy;
+  rec.result.cycles = static_cast<std::uint64_t>(v.at("cycles").as_number());
+  rec.result.throughput = v.at("throughput").as_number();
+  rec.result.flushed_frac = v.at("flushed_frac").as_number();
+  rec.wall_seconds = v.at("wall_seconds").as_number();
+  for (const json::Value& ipc : v.at("thread_ipc").as_array()) {
+    rec.result.thread_ipc.push_back(ipc.as_number());
+  }
+  for (const auto& [name, value] : v.at("counters").as_object()) {
+    rec.result.counters.emplace(name, static_cast<std::uint64_t>(value.as_number()));
+  }
+  return rec;
+}
+
+/// Identity of a run within a snapshot (everything but the outcome).
+std::string run_key(const RunRecord& r) {
+  std::ostringstream os;
+  os << r.machine << " | " << r.workload.name << " | " << r.policy;
+  if (!r.tag.empty()) os << " | " << r.tag;
+  os << " | seed=" << r.seed << " | " << to_string(r.role);
+  return os.str();
+}
+
+struct MetricDef {
+  const char* name;
+  double (*get)(const RunRecord&);
+  bool higher_is_better;
+  double abs_floor;  ///< |new-old| below this never flags (noise floor)
+};
+
+// wall_seconds is excluded on purpose: it measures the build host, not
+// the simulated machine.
+constexpr MetricDef kDiffMetrics[] = {
+    {"throughput", [](const RunRecord& r) { return r.result.throughput; }, true, 0.0},
+    {"cycles", [](const RunRecord& r) { return static_cast<double>(r.result.cycles); },
+     false, 0.0},
+    // flushed_frac hovers near zero for non-flushing policies; a 1e-4
+    // absolute change (0.01% of fetched instructions) is noise, however
+    // large it looks relatively.
+    {"flushed_frac", [](const RunRecord& r) { return r.result.flushed_frac; }, false,
+     1e-4},
+};
+
+}  // namespace
+
+Snapshot load_snapshot_text(std::string_view json_text) {
+  const json::Value doc = json::parse(json_text);
+  Snapshot snap;
+  for (const auto& [k, v] : doc.at("meta").as_object()) {
+    snap.meta.emplace(k, v.as_string());
+  }
+  for (const json::Value& run : doc.at("runs").as_array()) {
+    snap.runs.push_back(parse_run(run));
+  }
+  return snap;
+}
+
+Snapshot load_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open snapshot '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return load_snapshot_text(buf.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+TrajectoryStore::TrajectoryStore(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) dir_ = ".";
+}
+
+std::vector<std::string> TrajectoryStore::list() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string file = entry.path().filename().string();
+    if (file.starts_with("BENCH_") && file.ends_with(".json")) {
+      names.push_back(file.substr(6, file.size() - 6 - 5));
+    }
+  }
+  if (ec) throw std::runtime_error("cannot list '" + dir_ + "': " + ec.message());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Snapshot TrajectoryStore::load(const std::string& bench_name) const {
+  return load_snapshot(dir_ + "/BENCH_" + bench_name + ".json");
+}
+
+std::size_t DiffReport::regressions() const {
+  std::size_t n = 0;
+  for (const DiffEntry& e : entries) n += e.regressed;
+  return n;
+}
+
+std::size_t DiffReport::improvements() const {
+  std::size_t n = 0;
+  for (const DiffEntry& e : entries) n += e.improved;
+  return n;
+}
+
+DiffReport diff_snapshots(const Snapshot& before, const Snapshot& after, double tol_pct) {
+  DiffReport report;
+  report.tol_pct = tol_pct;
+
+  std::map<std::string, const RunRecord*> new_runs;
+  for (const RunRecord& r : after.runs) new_runs.emplace(run_key(r), &r);
+
+  std::map<std::string, bool> matched_new;
+  for (const RunRecord& old : before.runs) {
+    const std::string key = run_key(old);
+    const auto it = new_runs.find(key);
+    if (it == new_runs.end()) {
+      report.only_in_old.push_back(key);
+      continue;
+    }
+    matched_new[key] = true;
+    const RunRecord& fresh = *it->second;
+    for (const MetricDef& m : kDiffMetrics) {
+      DiffEntry e;
+      e.machine = old.machine;
+      e.workload = old.workload.name;
+      e.policy = old.policy;
+      e.tag = old.tag;
+      e.seed = old.seed;
+      e.metric = m.name;
+      e.old_value = m.get(old);
+      e.new_value = m.get(fresh);
+      e.higher_is_better = m.higher_is_better;
+      const double abs_delta = e.new_value - e.old_value;
+      if (e.old_value != 0.0) {
+        e.delta_pct = 100.0 * abs_delta / std::abs(e.old_value);
+      } else {
+        e.delta_pct = abs_delta == 0.0 ? 0.0
+                      : abs_delta > 0.0 ? std::numeric_limits<double>::infinity()
+                                        : -std::numeric_limits<double>::infinity();
+      }
+      if (std::abs(abs_delta) > m.abs_floor) {
+        const double worse_pct = m.higher_is_better ? -e.delta_pct : e.delta_pct;
+        e.regressed = worse_pct > tol_pct;
+        e.improved = -worse_pct > tol_pct;
+      }
+      report.entries.push_back(std::move(e));
+    }
+  }
+  for (const RunRecord& r : after.runs) {
+    const std::string key = run_key(r);
+    if (!matched_new.contains(key)) report.only_in_new.push_back(key);
+  }
+  return report;
+}
+
+void DiffReport::print(std::ostream& os, bool all) const {
+  const std::size_t matched = entries.empty() ? 0 : entries.size() / std::size(kDiffMetrics);
+  os << matched << " runs matched (" << only_in_old.size() << " only in old, "
+     << only_in_new.size() << " only in new); tolerance ±" << fmt(tol_pct, 2) << "%\n";
+  for (const std::string& k : only_in_old) os << "  only in old: " << k << "\n";
+  for (const std::string& k : only_in_new) os << "  only in new: " << k << "\n";
+
+  const auto print_entries = [&](const char* title, const auto& want) {
+    ReportTable table({"machine", "workload", "policy", "tag", "seed", "metric", "old",
+                       "new", "delta"});
+    for (const DiffEntry& e : entries) {
+      if (!want(e)) continue;
+      table.add_row({e.machine, e.workload, e.policy, e.tag, std::to_string(e.seed),
+                     e.metric, fmt(e.old_value, 4), fmt(e.new_value, 4),
+                     fmt_signed_pct(e.delta_pct)});
+    }
+    if (table.num_rows() == 0) return;
+    os << title << ":\n";
+    table.print(os);
+  };
+  print_entries("regressions", [](const DiffEntry& e) { return e.regressed; });
+  print_entries("improvements", [](const DiffEntry& e) { return e.improved; });
+  if (all) {
+    print_entries("within tolerance",
+                  [](const DiffEntry& e) { return !e.regressed && !e.improved; });
+  }
+  os << regressions() << " regression(s), " << improvements()
+     << " improvement(s) beyond tolerance\n";
+}
+
+}  // namespace dwarn::analysis

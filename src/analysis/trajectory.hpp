@@ -1,0 +1,98 @@
+// Result-trajectory loading and regression diffing.
+//
+// Every bench emits a BENCH_<name>.json snapshot (schema in
+// docs/bench_json.md). This module closes the loop: load snapshots back
+// into RunRecords, and diff two snapshots of the same bench run-by-run so
+// a commit that silently costs throughput is flagged instead of eyeballed.
+// The diff is direction-aware per metric (throughput up = good, cycles up
+// = bad) and reports both regressions and improvements; `smt_analyze diff`
+// turns a beyond-tolerance regression into a nonzero exit for CI.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/experiment_engine.hpp"
+
+namespace dwarn::analysis {
+
+/// One parsed BENCH_*.json file: the meta block plus every run. Loaded
+/// workload specs carry only the name (benchmark lists are not
+/// serialized), which is all keying and diffing need.
+struct Snapshot {
+  std::map<std::string, std::string> meta;
+  std::vector<RunRecord> runs;
+
+  /// Wrap the runs for ResultSet lookups / sweep_stats over a snapshot.
+  [[nodiscard]] ResultSet result_set() const { return ResultSet(runs); }
+};
+
+/// Parse the output of ResultStore::to_json(). Throws std::runtime_error
+/// (with context) on malformed JSON or missing required fields.
+[[nodiscard]] Snapshot load_snapshot_text(std::string_view json_text);
+
+/// Load + parse one snapshot file; the path is included in any error.
+[[nodiscard]] Snapshot load_snapshot(const std::string& path);
+
+/// A directory of BENCH_<name>.json snapshots (e.g. a build dir or an
+/// SMT_BENCH_OUT_DIR from a previous commit).
+class TrajectoryStore {
+ public:
+  explicit TrajectoryStore(std::string dir);
+
+  /// Bench names with a BENCH_<name>.json present, sorted.
+  [[nodiscard]] std::vector<std::string> list() const;
+
+  /// Load one bench's snapshot; throws when absent or malformed.
+  [[nodiscard]] Snapshot load(const std::string& bench_name) const;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+/// One (run, metric) comparison between two snapshots.
+struct DiffEntry {
+  std::string machine;
+  std::string workload;
+  std::string policy;
+  std::string tag;
+  std::uint64_t seed = 1;
+  std::string metric;
+  double old_value = 0.0;
+  double new_value = 0.0;
+  double delta_pct = 0.0;        ///< signed (new-old)/|old| in percent
+  bool higher_is_better = true;
+  bool regressed = false;        ///< worse than tolerance
+  bool improved = false;         ///< better than tolerance
+};
+
+/// Diff of two snapshots at a given tolerance.
+struct DiffReport {
+  std::vector<DiffEntry> entries;        ///< matched runs, record order
+  std::vector<std::string> only_in_old;  ///< run keys missing from `after`
+  std::vector<std::string> only_in_new;  ///< run keys missing from `before`
+  double tol_pct = 0.0;
+
+  [[nodiscard]] std::size_t regressions() const;
+  [[nodiscard]] std::size_t improvements() const;
+  [[nodiscard]] bool has_regression() const { return regressions() > 0; }
+
+  /// Human-readable report: coverage line, per-metric regression /
+  /// improvement tables (`all` adds the unchanged entries too).
+  void print(std::ostream& os, bool all = false) const;
+};
+
+/// Compare every run present in both snapshots (keyed by machine,
+/// workload, policy, tag, seed, role) across the summary metrics
+/// (throughput, cycles, flushed_frac). An entry regresses when it is
+/// worse — in its metric's direction — by strictly more than `tol_pct`
+/// percent. wall_seconds is deliberately not compared.
+[[nodiscard]] DiffReport diff_snapshots(const Snapshot& before, const Snapshot& after,
+                                        double tol_pct);
+
+}  // namespace dwarn::analysis

@@ -38,7 +38,8 @@ const SimResult& ResultSet::get(const RunKey& key) const {
   throw std::out_of_range(os.str());
 }
 
-SoloIpcMap ResultSet::solo_ipcs(std::string_view machine) const {
+SoloIpcMap ResultSet::solo_ipcs(std::string_view machine,
+                                std::optional<std::uint64_t> seed) const {
   // Baselines from different machines must never be mixed: relative-IPC
   // denominators are machine-specific, so an ambiguous selection is an
   // error rather than a silent first-match.
@@ -64,8 +65,9 @@ SoloIpcMap ResultSet::solo_ipcs(std::string_view machine) const {
   for (const RunRecord& r : records_) {
     if (r.role != RunRole::Solo) continue;
     if (!machine.empty() && r.machine != machine) continue;
+    if (seed && r.seed != *seed) continue;
     if (r.workload.benchmarks.empty()) continue;
-    // Multiple seeds: the first (lowest grid index) solo run wins.
+    // Multiple seeds, no filter: the first (lowest grid index) run wins.
     solo.emplace(r.workload.benchmarks.front(), r.result.throughput);
   }
   return solo;

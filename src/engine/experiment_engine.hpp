@@ -63,11 +63,12 @@ class ResultSet {
   }
 
   /// Solo-baseline IPCs (relative-IPC denominators) keyed by benchmark,
-  /// optionally restricted to one machine. Throws std::logic_error when
-  /// solo runs from several machines match (denominators are
-  /// machine-specific); with several seeds, the first grid-order run per
-  /// benchmark wins.
-  [[nodiscard]] SoloIpcMap solo_ipcs(std::string_view machine = {}) const;
+  /// optionally restricted to one machine and/or one seed. Throws
+  /// std::logic_error when solo runs from several machines match
+  /// (denominators are machine-specific); with several seeds and no seed
+  /// filter, the first grid-order run per benchmark wins.
+  [[nodiscard]] SoloIpcMap solo_ipcs(std::string_view machine = {},
+                                     std::optional<std::uint64_t> seed = {}) const;
 
  private:
   std::vector<RunRecord> records_;

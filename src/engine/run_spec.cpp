@@ -24,6 +24,13 @@ MachineSpec machine_variant(std::string name, MachineBuilder build) {
   return {std::move(name), std::move(build)};
 }
 
+std::vector<std::uint64_t> seed_list(std::size_t n) {
+  DWARN_CHECK(n >= 1);
+  std::vector<std::uint64_t> seeds(n);
+  for (std::size_t i = 0; i < n; ++i) seeds[i] = i + 1;
+  return seeds;
+}
+
 RunGrid& RunGrid::machine(MachineSpec m) {
   machines_.push_back(std::move(m));
   return *this;

@@ -38,6 +38,10 @@ struct MachineSpec {
 /// One of the paper's presets: "baseline", "small" or "deep".
 [[nodiscard]] MachineSpec machine_spec(std::string_view preset);
 
+/// The canonical replication seed list {1, 2, ..., n}: what `seeds(n)`
+/// sweeps and what the analysis tools assume when told "--seeds n".
+[[nodiscard]] std::vector<std::uint64_t> seed_list(std::size_t n);
+
 /// A preset with a tweak applied (for architecture ablations); the name
 /// should describe the tweak, e.g. "baseline+3cy".
 [[nodiscard]] MachineSpec machine_variant(std::string name, MachineBuilder build);
@@ -76,6 +80,8 @@ class RunGrid {
   /// Add a tagged parameter variant to sweep (e.g. "n=2").
   RunGrid& param_variant(std::string tag, PolicyParams p);
   RunGrid& seeds(std::vector<std::uint64_t> ss);
+  /// Replicate every grid point across seed_list(n) (n >= 1).
+  RunGrid& seed_count(std::size_t n) { return seeds(seed_list(n)); }
   RunGrid& length(RunLength len);
   /// Also run every distinct benchmark of the workloads single-threaded
   /// under ICOUNT on each machine (the Hmean denominators).

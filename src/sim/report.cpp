@@ -1,5 +1,6 @@
 #include "sim/report.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <ostream>
 
@@ -15,19 +16,35 @@ void ReportTable::add_row(std::vector<std::string> cells) {
   rows_.push_back(std::move(cells));
 }
 
+namespace {
+
+// Column widths are display columns, not bytes: cells carry multi-byte
+// UTF-8 ("±", "Δ"), and padding by size() would skew every column after
+// them. Counting non-continuation bytes is exact for the 1-column BMP
+// characters the tables use.
+std::size_t display_width(const std::string& s) {
+  std::size_t w = 0;
+  for (const char c : s) {
+    w += (static_cast<unsigned char>(c) & 0xC0) != 0x80;
+  }
+  return w;
+}
+
+}  // namespace
+
 void ReportTable::print(std::ostream& os) const {
   std::vector<std::size_t> widths(headers_.size());
-  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = display_width(headers_[c]);
   for (const auto& row : rows_) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+      widths[c] = std::max(widths[c], display_width(row[c]));
     }
   }
   auto print_row = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       os << (c == 0 ? "| " : " | ");
       os << row[c];
-      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+      for (std::size_t pad = display_width(row[c]); pad < widths[c]; ++pad) os << ' ';
     }
     os << " |\n";
   };

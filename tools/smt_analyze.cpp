@@ -1,0 +1,342 @@
+// smt_analyze — statistical analysis CLI over the experiment engine.
+//
+// Three subcommands close the replication loop around the benches:
+//
+//   sweep  run a bench's grid across N seeds and print mean ± 95% CI per
+//          (workload, policy) plus DWarn's paired per-seed improvement —
+//          the distributional version of the paper's point-estimate tables
+//   stats  the same aggregation, but over an already-emitted BENCH_*.json
+//          snapshot instead of a fresh simulation
+//   diff   compare two BENCH_*.json snapshots run-by-run and exit nonzero
+//          when any metric regressed beyond the tolerance (the CI
+//          trajectory gate)
+//
+// Exit codes: 0 ok / no regression, 1 regression found or run failed,
+// 2 usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/sample_stats.hpp"
+#include "analysis/seed_sweep.hpp"
+#include "analysis/trajectory.hpp"
+#include "engine/experiment_engine.hpp"
+#include "engine/result_store.hpp"
+#include "engine/run_spec.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/report.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+using namespace dwarn;
+
+int usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "smt_analyze: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  smt_analyze sweep --bench <fig1|fig3|ablation_detect_delay>\n"
+               "      [--seeds N] [--workloads A,B,...] [--policies P,Q,...]\n"
+               "      [--json PATH]\n"
+               "  smt_analyze stats <snapshot.json> [--metric throughput|cycles|flushed_frac]\n"
+               "  smt_analyze diff <old.json> <new.json> [--tol PCT[%%]] [--all]\n"
+               "\n"
+               "sweep runs the bench's grid across N seeds (default 8; SMT_SIM_INSTS/\n"
+               "SMT_WARMUP_INSTS shrink each run) and prints mean +/- 95%% bootstrap CI\n"
+               "per cell plus DWarn's paired per-seed improvement CIs. diff exits 1 when\n"
+               "a metric is worse than the tolerance (default 2%%).\n");
+  return 2;
+}
+
+/// "2", "2.5", "2%" -> percent value; nullopt on garbage.
+std::optional<double> parse_tolerance(std::string_view s) {
+  if (!s.empty() && s.back() == '%') s.remove_suffix(1);
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(std::string(s), &used);
+    if (used != s.size() || v < 0.0) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::string> split_csv(std::string_view s) {
+  std::vector<std::string> out;
+  while (!s.empty()) {
+    const std::size_t comma = s.find(',');
+    out.emplace_back(s.substr(0, comma));
+    if (comma == std::string_view::npos) break;
+    s.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
+/// Long-format sweep table: one row per (machine, workload, policy, tag).
+void print_sweep_rows(const std::vector<analysis::SweepRow>& rows, bool show_machine,
+                      bool show_tag) {
+  std::vector<std::string> headers;
+  if (show_machine) headers.emplace_back("machine");
+  headers.emplace_back("workload");
+  headers.emplace_back("policy");
+  if (show_tag) headers.emplace_back("tag");
+  for (const char* h : {"n", "mean ± 95% CI", "stddev", "min", "max"}) {
+    headers.emplace_back(h);
+  }
+  ReportTable table(std::move(headers));
+  for (const analysis::SweepRow& r : rows) {
+    std::vector<std::string> row;
+    if (show_machine) row.push_back(r.key.machine);
+    row.push_back(r.key.workload);
+    row.push_back(r.key.policy);
+    if (show_tag) row.push_back(r.key.tag);
+    row.push_back(std::to_string(r.stats.n));
+    row.push_back(analysis::fmt_mean_ci(r.stats));
+    row.push_back(fmt(r.stats.stddev, 3));
+    row.push_back(fmt(r.stats.min, 2));
+    row.push_back(fmt(r.stats.max, 2));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+void print_paired_rows(const ResultSet& rs, const analysis::RecordMetric& metric,
+                       std::span<const PolicyKind> policies, bool show_machine) {
+  bool any = false;
+  for (const PolicyKind p : policies) {
+    if (p == PolicyKind::DWarn) continue;
+    const auto rows = analysis::paired_comparison(rs, "DWarn", policy_name(p), metric);
+    if (rows.empty()) continue;
+    if (!any) {
+      print_banner(std::cout, "DWarn paired per-seed improvement (mean ± 95% CI)");
+      any = true;
+    }
+    std::vector<std::string> headers;
+    if (show_machine) headers.emplace_back("machine");
+    headers.emplace_back("workload");
+    headers.emplace_back("n");
+    headers.emplace_back("Δ% vs " + std::string(policy_name(p)));
+    ReportTable table(std::move(headers));
+    for (const analysis::PairedRow& r : rows) {
+      std::vector<std::string> row;
+      if (show_machine) row.push_back(r.machine);
+      row.push_back(r.workload);
+      row.push_back(std::to_string(r.stats.n));
+      row.push_back(fmt_signed_pct(r.stats.mean) + " ± " +
+                    fmt(r.stats.ci_halfwidth(), 2));
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+}
+
+struct SweepOptions {
+  std::string bench;
+  std::size_t num_seeds = 8;
+  std::vector<std::string> workloads;  ///< empty = the bench's default set
+  std::vector<std::string> policies;
+  std::string json_path;
+};
+
+int run_sweep(const SweepOptions& opt) {
+  std::vector<WorkloadSpec> workloads;
+  for (const WorkloadSpec& w : paper_workloads()) {
+    if (opt.workloads.empty() ||
+        std::find(opt.workloads.begin(), opt.workloads.end(), w.name) !=
+            opt.workloads.end()) {
+      workloads.push_back(w);
+    }
+  }
+  if (workloads.size() != (opt.workloads.empty() ? paper_workloads().size()
+                                                 : opt.workloads.size())) {
+    return usage("unknown workload name (see paper_workloads: 2-ILP ... 8-MEM)");
+  }
+  std::vector<PolicyKind> policies;
+  for (const PolicyKind p : kPaperPolicies) {
+    if (opt.policies.empty() ||
+        std::find(opt.policies.begin(), opt.policies.end(),
+                  std::string(policy_name(p))) != opt.policies.end()) {
+      policies.push_back(p);
+    }
+  }
+  if (policies.size() != (opt.policies.empty() ? kPaperPolicies.size()
+                                               : opt.policies.size())) {
+    return usage("unknown policy name (ICOUNT, STALL, FLUSH, DG, PDG, DWarn)");
+  }
+
+  RunGrid grid;
+  bool machine_variants = false;
+  if (opt.bench == "fig1") {
+    grid.machine(machine_spec("baseline")).workloads(workloads).policies(policies);
+  } else if (opt.bench == "fig3") {
+    grid.machine(machine_spec("baseline"))
+        .workloads(workloads)
+        .policies(policies)
+        .with_solo_baselines();
+  } else if (opt.bench == "ablation_detect_delay") {
+    for (const Cycle d : {Cycle{0}, Cycle{3}, Cycle{10}, Cycle{25}}) {
+      grid.machine(
+          machine_variant("baseline+" + std::to_string(d) + "cy", [d](std::size_t n) {
+            MachineConfig m = baseline_machine(n);
+            m.core.l1_detect_extra = d;
+            return m;
+          }));
+    }
+    grid.workloads(workloads).policies(policies);
+    machine_variants = true;
+  } else {
+    return usage("unknown --bench (fig1, fig3, ablation_detect_delay)");
+  }
+  grid.seed_count(opt.num_seeds);
+
+  std::cout << "sweeping " << opt.bench << " across " << opt.num_seeds << " seed"
+            << (opt.num_seeds == 1 ? "" : "s") << "...\n";
+  const ResultSet results = ExperimentEngine().run(grid);
+
+  const analysis::RecordMetric metric = opt.bench == "fig3"
+                                            ? analysis::hmean_metric(results)
+                                            : analysis::throughput_metric();
+  const char* metric_name = opt.bench == "fig3" ? "Hmean of relative IPCs" : "throughput";
+  print_banner(std::cout, std::string(metric_name) + " — mean ± 95% CI per cell");
+  print_sweep_rows(analysis::sweep_stats(results, metric), machine_variants, false);
+  std::cout << '\n';
+  print_paired_rows(results, metric, policies, machine_variants);
+
+  if (!opt.json_path.empty()) {
+    // Record the run windows like write_bench_json does: a later diff
+    // against this snapshot must be able to detect window mismatches.
+    const RunLength len = RunLength::from_env();
+    ResultStore store;
+    store.set_meta("bench", opt.bench);
+    store.set_meta("schema", "1");
+    store.set_meta("tool", "smt_analyze sweep");
+    store.set_meta("seeds", std::to_string(opt.num_seeds));
+    store.set_meta("measure_insts", std::to_string(len.measure_insts));
+    store.set_meta("warmup_insts", std::to_string(len.warmup_insts));
+    store.add_all(results);
+    if (!store.write_json(opt.json_path)) {
+      std::fprintf(stderr, "smt_analyze: cannot write snapshot '%s'\n",
+                   opt.json_path.c_str());
+      return 1;
+    }
+    std::cout << "[" << store.size() << " runs -> " << opt.json_path << "]\n";
+  }
+  return 0;
+}
+
+int run_stats(const std::string& path, const std::string& metric_name) {
+  analysis::RecordMetric metric;
+  if (metric_name == "throughput") {
+    metric = analysis::throughput_metric();
+  } else if (metric_name == "flushed_frac") {
+    metric = analysis::flushed_frac_metric();
+  } else if (metric_name == "cycles") {
+    metric = [](const RunRecord& r) { return static_cast<double>(r.result.cycles); };
+  } else {
+    return usage("unknown --metric (throughput, cycles, flushed_frac)");
+  }
+  const analysis::Snapshot snap = analysis::load_snapshot(path);
+  const auto bench = snap.meta.find("bench");
+  std::cout << path << ": " << snap.runs.size() << " runs"
+            << (bench == snap.meta.end() ? "" : " (bench " + bench->second + ")") << "\n";
+  print_banner(std::cout, metric_name + " — mean ± 95% CI per cell");
+  bool machines = false, tags = false;
+  for (const RunRecord& r : snap.runs) {
+    machines |= r.machine != snap.runs.front().machine;
+    tags |= !r.tag.empty();
+  }
+  print_sweep_rows(analysis::sweep_stats(snap.result_set(), metric), machines, tags);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  const std::string& cmd = args[0];
+
+  try {
+    if (cmd == "sweep") {
+      SweepOptions opt;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        const std::string& a = args[i];
+        const auto value = [&]() -> const std::string* {
+          return i + 1 < args.size() ? &args[++i] : nullptr;
+        };
+        if (a == "--bench") {
+          if (const auto* v = value()) opt.bench = *v;
+        } else if (a == "--seeds") {
+          const auto* v = value();
+          if (v == nullptr) return usage("--seeds needs a value");
+          const int n = std::atoi(v->c_str());
+          if (n < 1 || n > 64) return usage("--seeds must be in [1, 64]");
+          opt.num_seeds = static_cast<std::size_t>(n);
+        } else if (a == "--workloads") {
+          if (const auto* v = value()) opt.workloads = split_csv(*v);
+        } else if (a == "--policies") {
+          if (const auto* v = value()) opt.policies = split_csv(*v);
+        } else if (a == "--json") {
+          if (const auto* v = value()) opt.json_path = *v;
+        } else {
+          return usage(("unknown sweep option '" + a + "'").c_str());
+        }
+      }
+      if (opt.bench.empty()) return usage("sweep needs --bench");
+      return run_sweep(opt);
+    }
+
+    if (cmd == "stats") {
+      std::string path, metric = "throughput";
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--metric" && i + 1 < args.size()) {
+          metric = args[++i];
+        } else if (path.empty()) {
+          path = args[i];
+        } else {
+          return usage("stats takes one snapshot path");
+        }
+      }
+      if (path.empty()) return usage("stats needs a snapshot path");
+      return run_stats(path, metric);
+    }
+
+    if (cmd == "diff") {
+      std::string old_path, new_path;
+      double tol = 2.0;
+      bool all = false;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--tol" && i + 1 < args.size()) {
+          const auto t = parse_tolerance(args[++i]);
+          if (!t) return usage("--tol needs a non-negative percentage");
+          tol = *t;
+        } else if (args[i] == "--all") {
+          all = true;
+        } else if (old_path.empty()) {
+          old_path = args[i];
+        } else if (new_path.empty()) {
+          new_path = args[i];
+        } else {
+          return usage("diff takes exactly two snapshot paths");
+        }
+      }
+      if (new_path.empty()) return usage("diff needs <old.json> <new.json>");
+      const analysis::DiffReport report = analysis::diff_snapshots(
+          analysis::load_snapshot(old_path), analysis::load_snapshot(new_path), tol);
+      report.print(std::cout, all);
+      return report.has_regression() ? 1 : 0;
+    }
+
+    return usage(("unknown command '" + cmd + "'").c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "smt_analyze: %s\n", e.what());
+    return 2;
+  }
+}
