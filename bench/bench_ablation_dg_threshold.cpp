@@ -29,6 +29,7 @@ int main() {
     params.dg_threshold = n;
     grid.param_variant("n=" + std::to_string(n), params);
   }
+  if (const auto rc = maybe_run_sharded("ablation_dg_threshold", grid)) return *rc;
   const ResultSet results = ExperimentEngine().run(grid);
 
   print_banner(std::cout, "Ablation: DG gating threshold sweep (throughput)");

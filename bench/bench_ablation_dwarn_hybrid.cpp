@@ -23,8 +23,10 @@ int main() {
   const std::array<PolicyKind, 3> variants{PolicyKind::DWarnBasic, PolicyKind::DWarn,
                                            PolicyKind::DWarnGateAlways};
 
-  const ResultSet results = ExperimentEngine().run(
-      RunGrid().machine(machine_spec("baseline")).workloads(workloads).policies(variants));
+  const RunGrid grid =
+      RunGrid().machine(machine_spec("baseline")).workloads(workloads).policies(variants);
+  if (const auto rc = maybe_run_sharded("ablation_dwarn_hybrid", grid)) return *rc;
+  const ResultSet results = ExperimentEngine().run(grid);
 
   print_banner(std::cout, "Ablation: DWarn response-action variants (throughput)");
   print_metric_table(std::cout, results, workloads, variants, throughput_metric(),

@@ -32,6 +32,7 @@ int main() {
     }));
   }
   grid.workloads(workloads).policies(policies);
+  if (const auto rc = maybe_run_sharded("ablation_l2_threshold", grid)) return *rc;
   const ResultSet results = ExperimentEngine().run(grid);
 
   print_banner(std::cout, "Ablation: L2-miss declaration threshold sweep (throughput)");

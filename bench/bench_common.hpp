@@ -15,6 +15,7 @@
 #include <functional>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,8 +23,10 @@
 #include "analysis/seed_sweep.hpp"
 #include "common/env.hpp"
 #include "engine/experiment_engine.hpp"
+#include "engine/grid_registry.hpp"
 #include "engine/result_store.hpp"
 #include "engine/run_spec.hpp"
+#include "engine/shard.hpp"
 #include "sim/metrics.hpp"
 #include "sim/report.hpp"
 #include "sim/workload.hpp"
@@ -45,15 +48,20 @@ inline Metric hmean_metric(const SoloIpcMap& solo) {
   };
 }
 
-/// Replication seeds for a bench grid: seed_list(SMT_BENCH_SEEDS),
-/// defaulting to the single seed {1} (the paper's point-estimate mode).
-inline std::vector<std::uint64_t> bench_seed_list() {
-  return seed_list(env_u64("SMT_BENCH_SEEDS", 1, 64).value_or(1));
+/// Replication count for a bench grid: SMT_BENCH_SEEDS, defaulting to 1
+/// (the paper's point-estimate mode).
+inline std::size_t bench_seed_count() {
+  return env_u64("SMT_BENCH_SEEDS", 1, 64).value_or(1);
 }
 
-/// Where BENCH_<name>.json lands: SMT_BENCH_OUT_DIR (created on demand)
-/// or the working dir.
-inline std::string bench_output_path(const std::string& bench_name) {
+/// The canonical seed list for bench_seed_count() replications.
+inline std::vector<std::uint64_t> bench_seed_list() {
+  return seed_list(bench_seed_count());
+}
+
+/// Output directory prefix ("" or "dir/"): SMT_BENCH_OUT_DIR, created on
+/// demand, or the working dir.
+inline std::string bench_output_dir() {
   std::string dir;
   if (const char* d = std::getenv("SMT_BENCH_OUT_DIR")) dir = d;
   if (!dir.empty()) {
@@ -65,8 +73,18 @@ inline std::string bench_output_path(const std::string& bench_name) {
     }
     if (dir.back() != '/') dir += '/';
   }
-  return dir + "BENCH_" + bench_name + ".json";
+  return dir;
 }
+
+/// Where BENCH_<name>.json lands.
+inline std::string bench_output_path(const std::string& bench_name) {
+  return bench_output_dir() + "BENCH_" + bench_name + ".json";
+}
+
+/// SMT_BENCH_ZERO_WALL=1: serialize wall_seconds as 0 so two executions
+/// of the same grid produce byte-identical snapshots (the sharded-vs-
+/// unsharded bitwise check in CI sets this on both sides).
+inline bool bench_zero_wall() { return env_u64("SMT_BENCH_ZERO_WALL", 0, 1).value_or(0) == 1; }
 
 /// Snapshot every run of `rs` (counters included) to BENCH_<name>.json.
 /// Returns false after a loud stderr message when the snapshot cannot be
@@ -76,10 +94,8 @@ inline std::string bench_output_path(const std::string& bench_name) {
                                            const ResultSet& rs,
                                            const RunLength& len = RunLength::from_env()) {
   ResultStore store;
-  store.set_meta("bench", bench_name);
-  store.set_meta("schema", "1");
-  store.set_meta("measure_insts", std::to_string(len.measure_insts));
-  store.set_meta("warmup_insts", std::to_string(len.warmup_insts));
+  for (const auto& [k, v] : bench_meta(bench_name, len)) store.set_meta(k, v);
+  store.set_zero_wall(bench_zero_wall());
   store.add_all(rs);
   const std::string path = bench_output_path(bench_name);
   if (!store.write_json(path)) {
@@ -89,6 +105,33 @@ inline std::string bench_output_path(const std::string& bench_name) {
   }
   std::cout << "\n[" << store.size() << " runs -> " << path << "]\n";
   return true;
+}
+
+/// SMT_BENCH_SHARD=K/N support: when set, run only shard K of the grid
+/// and write the BENCH_<name>.shard<K>of<N>.json fragment instead of the
+/// full snapshot — no tables, since a shard cannot fill them. Returns the
+/// process exit code in that case; nullopt means "not sharded, run
+/// normally". Usage, first thing after building the grid:
+///
+///   if (const auto rc = maybe_run_sharded("fig1_throughput", grid)) return *rc;
+///
+/// Fragments from all N processes are merged back into the canonical
+/// snapshot by `smt_shard merge` (docs/sharding.md).
+[[nodiscard]] inline std::optional<int> maybe_run_sharded(
+    const std::string& bench_name, const RunGrid& grid,
+    const RunLength& len = RunLength::from_env()) {
+  const std::optional<ShardSpec> shard = shard_from_env();
+  if (!shard) return std::nullopt;
+  const ShardStrategy strategy = shard_strategy_from_env();
+  const std::string path =
+      bench_output_dir() + shard_fragment_filename(bench_name, shard->index, shard->count);
+  if (!run_shard_to_file(grid.expand(), *shard, strategy, bench_meta(bench_name, len),
+                         path, bench_zero_wall())) {
+    std::cerr << "[dwarn] error: shard fragment '" << path
+              << "' could not be written; failing the bench\n";
+    return 1;
+  }
+  return 0;
 }
 
 /// Print a per-(workload, policy) absolute metric table (Figure 1(a) shape).

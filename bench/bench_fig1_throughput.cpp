@@ -45,13 +45,12 @@ int main() {
   print_table3(std::cout);
 
   const auto& workloads = paper_workloads();
-  // SMT_BENCH_SEEDS replicates every cell; the tables then carry
-  // bootstrap CIs instead of single-run point estimates.
-  const ResultSet results = ExperimentEngine().run(RunGrid()
-                                                      .machine(machine_spec("baseline"))
-                                                      .workloads(workloads)
-                                                      .policies(kPaperPolicies)
-                                                      .seeds(bench_seed_list()));
+  // The registry owns the grid definition (shared with smt_shard /
+  // smt_analyze). SMT_BENCH_SEEDS replicates every cell; the tables then
+  // carry bootstrap CIs instead of single-run point estimates.
+  const RunGrid grid = named_grid("fig1", GridOptions{.num_seeds = bench_seed_count()});
+  if (const auto rc = maybe_run_sharded("fig1_throughput", grid)) return *rc;
+  const ResultSet results = ExperimentEngine().run(grid);
 
   print_banner(std::cout, "Figure 1(a): throughput per policy (baseline machine)");
   print_ci_metric_table(std::cout, results, workloads, kPaperPolicies,

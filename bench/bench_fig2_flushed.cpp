@@ -13,8 +13,10 @@ int main() {
   using namespace dwarn::benchutil;
 
   const auto& workloads = paper_workloads();
-  const ResultSet results = ExperimentEngine().run(
-      RunGrid().machine(machine_spec("baseline")).workloads(workloads).policy(PolicyKind::Flush));
+  const RunGrid grid =
+      RunGrid().machine(machine_spec("baseline")).workloads(workloads).policy(PolicyKind::Flush);
+  if (const auto rc = maybe_run_sharded("fig2_flushed", grid)) return *rc;
+  const ResultSet results = ExperimentEngine().run(grid);
 
   print_banner(std::cout, "Figure 2: flushed instructions w.r.t. fetched (FLUSH policy)");
   ReportTable table({"workload", "flushed %", "flush events", "fetched"});

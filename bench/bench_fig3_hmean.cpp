@@ -15,12 +15,9 @@ int main() {
   // One grid: every (workload, policy) cell plus the single-thread
   // baselines used as relative-IPC denominators, replicated across
   // SMT_BENCH_SEEDS seeds (each seed divides by its own solo runs).
-  const ResultSet results = ExperimentEngine().run(RunGrid()
-                                                      .machine(machine_spec("baseline"))
-                                                      .workloads(workloads)
-                                                      .policies(kPaperPolicies)
-                                                      .seeds(bench_seed_list())
-                                                      .with_solo_baselines());
+  const RunGrid grid = named_grid("fig3", GridOptions{.num_seeds = bench_seed_count()});
+  if (const auto rc = maybe_run_sharded("fig3_hmean", grid)) return *rc;
+  const ResultSet results = ExperimentEngine().run(grid);
   const SoloIpcMap solo = results.solo_ipcs();
 
   print_banner(std::cout, "single-thread baseline IPCs (relative-IPC denominators, first seed)");

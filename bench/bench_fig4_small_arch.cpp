@@ -17,11 +17,13 @@ int main() {
   using namespace dwarn::benchutil;
 
   const std::vector<WorkloadSpec> workloads = small_machine_workloads();
-  const ResultSet results = ExperimentEngine().run(RunGrid()
-                                                      .machine(machine_spec("small"))
-                                                      .workloads(workloads)
-                                                      .policies(kPaperPolicies)
-                                                      .with_solo_baselines());
+  const RunGrid grid = RunGrid()
+                           .machine(machine_spec("small"))
+                           .workloads(workloads)
+                           .policies(kPaperPolicies)
+                           .with_solo_baselines();
+  if (const auto rc = maybe_run_sharded("fig4_small_arch", grid)) return *rc;
+  const ResultSet results = ExperimentEngine().run(grid);
   const SoloIpcMap solo = results.solo_ipcs();
 
   print_banner(std::cout, "Figure 4 (small machine: 4-wide, 1.4 fetch, 4 contexts)");

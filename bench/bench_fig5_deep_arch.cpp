@@ -16,11 +16,13 @@ int main() {
   using namespace dwarn::benchutil;
 
   const auto& workloads = paper_workloads();
-  const ResultSet results = ExperimentEngine().run(RunGrid()
-                                                      .machine(machine_spec("deep"))
-                                                      .workloads(workloads)
-                                                      .policies(kPaperPolicies)
-                                                      .with_solo_baselines());
+  const RunGrid grid = RunGrid()
+                           .machine(machine_spec("deep"))
+                           .workloads(workloads)
+                           .policies(kPaperPolicies)
+                           .with_solo_baselines();
+  if (const auto rc = maybe_run_sharded("fig5_deep_arch", grid)) return *rc;
+  const ResultSet results = ExperimentEngine().run(grid);
   const SoloIpcMap solo = results.solo_ipcs();
 
   print_banner(std::cout, "Figure 5 (deep machine: 16 stages, mem 200 cycles)");

@@ -26,6 +26,7 @@ int main() {
   RunGrid grid;
   grid.machine(machine_spec("baseline")).policy(PolicyKind::ICount);
   for (const auto& p : profiles) grid.workload(solo_workload(p.id));
+  if (const auto rc = maybe_run_sharded("table2a", grid)) return *rc;
   const ResultSet results = ExperimentEngine().run(grid);
 
   for (std::size_t i = 0; i < kNumBenchmarks; ++i) {

@@ -13,11 +13,13 @@ int main() {
   using namespace dwarn::benchutil;
 
   const WorkloadSpec& workload = workload_by_name("4-MIX");
-  const ResultSet results = ExperimentEngine().run(RunGrid()
-                                                      .machine(machine_spec("baseline"))
-                                                      .workload(workload)
-                                                      .policies(kPaperPolicies)
-                                                      .with_solo_baselines());
+  const RunGrid grid = RunGrid()
+                           .machine(machine_spec("baseline"))
+                           .workload(workload)
+                           .policies(kPaperPolicies)
+                           .with_solo_baselines();
+  if (const auto rc = maybe_run_sharded("table4_relative_ipc", grid)) return *rc;
+  const ResultSet results = ExperimentEngine().run(grid);
   const SoloIpcMap solo = results.solo_ipcs();
 
   print_banner(std::cout, "Table 4: relative IPC of each thread in the 4-MIX workload");

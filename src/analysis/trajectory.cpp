@@ -76,16 +76,162 @@ constexpr MetricDef kDiffMetrics[] = {
 
 }  // namespace
 
+namespace {
+
+/// Untrusted double → size_t in [0, max]: negative, NaN, fractional or
+/// oversized values must throw, never hit the UB of a raw static_cast or
+/// size a multi-exabyte allocation downstream.
+std::size_t checked_size(double d, const char* what, std::size_t max) {
+  if (!(d >= 0.0) || d > static_cast<double>(max) || d != std::floor(d)) {
+    std::ostringstream os;
+    os << "snapshot: shard field '" << what << "' = " << d
+       << " is not an integer in [0, " << max << "]";
+    throw std::runtime_error(os.str());
+  }
+  return static_cast<std::size_t>(d);
+}
+
+std::size_t shard_field(const json::Value& v, const char* field, std::size_t max) {
+  return checked_size(v.at(field).as_number(), field, max);
+}
+
+// Sanity cap on a fragment header's grid size: far above any real
+// sweep, far below anything that could size a pathological merge
+// allocation.
+constexpr std::size_t kMaxHeaderGridSize = 10'000'000;
+
+ShardHeader parse_shard_header(const json::Value& v) {
+  ShardHeader h;
+  h.count = shard_field(v, "count", kMaxShards);
+  h.index = shard_field(v, "index", kMaxShards);
+  h.grid_size = shard_field(v, "grid_size", kMaxHeaderGridSize);
+  const std::string& strategy = v.at("strategy").as_string();
+  const auto s = shard_strategy_from_name(strategy);
+  if (!s) throw std::runtime_error("snapshot: unknown shard strategy '" + strategy + "'");
+  h.strategy = *s;
+  h.fingerprint = v.at("grid_fingerprint").as_string();
+  const std::size_t max_index = h.grid_size == 0 ? 0 : h.grid_size - 1;
+  for (const json::Value& idx : v.at("indices").as_array()) {
+    h.indices.push_back(checked_size(idx.as_number(), "indices", max_index));
+  }
+  if (h.index < 1 || h.index > h.count) {
+    throw std::runtime_error("snapshot: shard index " + std::to_string(h.index) +
+                             " outside 1.." + std::to_string(h.count));
+  }
+  return h;
+}
+
+}  // namespace
+
 Snapshot load_snapshot_text(std::string_view json_text) {
   const json::Value doc = json::parse(json_text);
   Snapshot snap;
   for (const auto& [k, v] : doc.at("meta").as_object()) {
     snap.meta.emplace(k, v.as_string());
   }
+  if (const json::Value* shard = doc.find("shard")) {
+    snap.shard = parse_shard_header(*shard);
+  }
   for (const json::Value& run : doc.at("runs").as_array()) {
     snap.runs.push_back(parse_run(run));
   }
+  if (snap.shard && snap.shard->indices.size() != snap.runs.size()) {
+    throw std::runtime_error(
+        "snapshot: shard block lists " + std::to_string(snap.shard->indices.size()) +
+        " indices but the fragment has " + std::to_string(snap.runs.size()) + " runs");
+  }
   return snap;
+}
+
+Snapshot merge_shards(const std::vector<Snapshot>& fragments) {
+  if (fragments.empty()) throw std::runtime_error("merge_shards: no fragments given");
+  for (const Snapshot& f : fragments) {
+    if (!f.shard) {
+      throw std::runtime_error(
+          "merge_shards: input without a shard block (not a fragment)");
+    }
+  }
+  const ShardHeader& first = *fragments.front().shard;
+  for (const Snapshot& f : fragments) {
+    const ShardHeader& h = *f.shard;
+    if (h.count != first.count) {
+      throw std::runtime_error("merge_shards: mismatched shard counts (" +
+                               std::to_string(first.count) + " vs " +
+                               std::to_string(h.count) + ")");
+    }
+    if (h.grid_size != first.grid_size) {
+      throw std::runtime_error("merge_shards: mismatched grid sizes (" +
+                               std::to_string(first.grid_size) + " vs " +
+                               std::to_string(h.grid_size) + ")");
+    }
+    if (h.fingerprint != first.fingerprint) {
+      throw std::runtime_error(
+          "merge_shards: mismatched grid fingerprints (" + first.fingerprint + " vs " +
+          h.fingerprint + "); fragments come from different grids, seeds or run windows");
+    }
+    if (f.meta != fragments.front().meta) {
+      throw std::runtime_error(
+          "merge_shards: fragment meta blocks disagree; fragments were not written "
+          "by the same sweep");
+    }
+    // The loader enforces this for files; re-check here so Snapshots
+    // built programmatically get the documented error, not OOB reads.
+    if (h.indices.size() != f.runs.size()) {
+      throw std::runtime_error("merge_shards: shard " + std::to_string(h.index) +
+                               " lists " + std::to_string(h.indices.size()) +
+                               " indices for " + std::to_string(f.runs.size()) + " runs");
+    }
+  }
+
+  // Place every run at its grid index; any collision or gap is an error,
+  // never a silent reordering.
+  std::vector<const RunRecord*> slots(first.grid_size, nullptr);
+  std::vector<std::size_t> owner(first.grid_size, 0);
+  for (std::size_t fi = 0; fi < fragments.size(); ++fi) {
+    const ShardHeader& h = *fragments[fi].shard;
+    for (std::size_t i = 0; i < h.indices.size(); ++i) {
+      const std::size_t idx = h.indices[i];
+      if (idx >= first.grid_size) {
+        throw std::runtime_error("merge_shards: grid index " + std::to_string(idx) +
+                                 " out of range for grid size " +
+                                 std::to_string(first.grid_size));
+      }
+      if (slots[idx] != nullptr) {
+        throw std::runtime_error(
+            "merge_shards: grid index " + std::to_string(idx) + " claimed by shard " +
+            std::to_string(h.index) + " and shard " +
+            std::to_string(fragments[owner[idx]].shard->index) +
+            " (duplicate or overlapping fragments)");
+      }
+      slots[idx] = &fragments[fi].runs[i];
+      owner[idx] = fi;
+    }
+  }
+  std::vector<std::size_t> missing;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i] == nullptr) missing.push_back(i);
+  }
+  if (!missing.empty()) {
+    std::ostringstream os;
+    os << "merge_shards: " << missing.size() << " of " << first.grid_size
+       << " grid indices uncovered (missing fragment); first missing:";
+    for (std::size_t i = 0; i < missing.size() && i < 8; ++i) os << ' ' << missing[i];
+    throw std::runtime_error(os.str());
+  }
+
+  Snapshot merged;
+  merged.meta = fragments.front().meta;
+  merged.runs.reserve(slots.size());
+  for (const RunRecord* r : slots) merged.runs.push_back(*r);
+  return merged;
+}
+
+ResultStore to_result_store(const Snapshot& snap) {
+  ResultStore store;
+  for (const auto& [k, v] : snap.meta) store.set_meta(k, v);
+  if (snap.shard) store.set_shard(*snap.shard);
+  for (const RunRecord& r : snap.runs) store.add(r);
+  return store;
 }
 
 Snapshot load_snapshot(const std::string& path) {
@@ -104,23 +250,85 @@ TrajectoryStore::TrajectoryStore(std::string dir) : dir_(std::move(dir)) {
   if (dir_.empty()) dir_ = ".";
 }
 
+namespace {
+
+/// ".shard<K>of<N>" with plain decimals, or empty when `stem` is not a
+/// fragment suffix.
+bool is_fragment_suffix(std::string_view s) {
+  if (!s.starts_with(".shard")) return false;
+  s.remove_prefix(6);
+  const std::size_t of = s.find("of");
+  if (of == 0 || of == std::string_view::npos || of + 2 >= s.size()) return false;
+  const auto all_digits = [](std::string_view d) {
+    for (const char c : d) {
+      if (c < '0' || c > '9') return false;
+    }
+    return !d.empty();
+  };
+  return all_digits(s.substr(0, of)) && all_digits(s.substr(of + 2));
+}
+
+/// BENCH_<name>.json → <name>; BENCH_<name>.shard<K>of<N>.json → <name>;
+/// anything else → empty.
+std::string bench_name_of(const std::string& file) {
+  if (!file.starts_with("BENCH_") || !file.ends_with(".json")) return {};
+  std::string stem = file.substr(6, file.size() - 6 - 5);
+  const std::size_t shard = stem.rfind(".shard");
+  if (shard == std::string::npos) return stem;
+  if (!is_fragment_suffix(std::string_view(stem).substr(shard))) return {};
+  return stem.substr(0, shard);
+}
+
+}  // namespace
+
 std::vector<std::string> TrajectoryStore::list() const {
   std::vector<std::string> names;
   std::error_code ec;
   for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
     if (!entry.is_regular_file()) continue;
-    const std::string file = entry.path().filename().string();
-    if (file.starts_with("BENCH_") && file.ends_with(".json")) {
-      names.push_back(file.substr(6, file.size() - 6 - 5));
-    }
+    const std::string name = bench_name_of(entry.path().filename().string());
+    if (!name.empty()) names.push_back(name);
   }
   if (ec) throw std::runtime_error("cannot list '" + dir_ + "': " + ec.message());
   std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
   return names;
 }
 
+std::vector<std::string> TrajectoryStore::fragment_paths(
+    const std::string& bench_name) const {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string file = entry.path().filename().string();
+    const std::string prefix = "BENCH_" + bench_name + ".shard";
+    if (file.starts_with(prefix) && bench_name_of(file) == bench_name &&
+        file != "BENCH_" + bench_name + ".json") {
+      paths.push_back(dir_ + "/" + file);
+    }
+  }
+  if (ec) throw std::runtime_error("cannot list '" + dir_ + "': " + ec.message());
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
 Snapshot TrajectoryStore::load(const std::string& bench_name) const {
-  return load_snapshot(dir_ + "/BENCH_" + bench_name + ".json");
+  const std::string canonical = dir_ + "/BENCH_" + bench_name + ".json";
+  if (std::filesystem::exists(canonical)) return load_snapshot(canonical);
+  const std::vector<std::string> fragments = fragment_paths(bench_name);
+  if (fragments.empty()) {
+    // Keep the single-file error shape when nothing sharded exists either.
+    return load_snapshot(canonical);
+  }
+  std::vector<Snapshot> parts;
+  parts.reserve(fragments.size());
+  for (const std::string& path : fragments) parts.push_back(load_snapshot(path));
+  try {
+    return merge_shards(parts);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(dir_ + ": BENCH_" + bench_name + " fragments: " + e.what());
+  }
 }
 
 std::size_t DiffReport::regressions() const {

@@ -11,19 +11,26 @@
 
 #include <iosfwd>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "engine/experiment_engine.hpp"
+#include "engine/result_store.hpp"
+#include "engine/shard.hpp"
 
 namespace dwarn::analysis {
 
 /// One parsed BENCH_*.json file: the meta block plus every run. Loaded
 /// workload specs carry only the name (benchmark lists are not
-/// serialized), which is all keying and diffing need.
+/// serialized), which is all keying and diffing need. `shard` is set when
+/// the file is a BENCH_<name>.shard<K>of<N>.json fragment of a sharded
+/// sweep (docs/sharding.md); shard.indices[i] is the 0-based grid index
+/// of runs[i].
 struct Snapshot {
   std::map<std::string, std::string> meta;
+  std::optional<ShardHeader> shard;
   std::vector<RunRecord> runs;
 
   /// Wrap the runs for ResultSet lookups / sweep_stats over a snapshot.
@@ -37,17 +44,41 @@ struct Snapshot {
 /// Load + parse one snapshot file; the path is included in any error.
 [[nodiscard]] Snapshot load_snapshot(const std::string& path);
 
+/// Reassemble shard fragments of one sharded sweep into the canonical
+/// snapshot (runs in grid-index order, no shard block). Fragment order is
+/// irrelevant. Throws std::runtime_error when the inputs are not a clean
+/// partition of one grid:
+///   - a snapshot without a shard block, or an empty input list
+///   - mismatched shard count, grid size, grid fingerprint or meta
+///   - a grid index claimed by two fragments (includes a fragment given
+///     twice) or out of range
+///   - grid indices left uncovered (a missing fragment)
+/// Re-serializing the result via `to_result_store` reproduces the
+/// unsharded ResultStore::to_json() byte-for-byte.
+[[nodiscard]] Snapshot merge_shards(const std::vector<Snapshot>& fragments);
+
+/// Rebuild a ResultStore (meta + runs, in order) from a snapshot, e.g. to
+/// re-serialize a merge_shards result as the canonical BENCH_<name>.json.
+[[nodiscard]] ResultStore to_result_store(const Snapshot& snap);
+
 /// A directory of BENCH_<name>.json snapshots (e.g. a build dir or an
 /// SMT_BENCH_OUT_DIR from a previous commit).
 class TrajectoryStore {
  public:
   explicit TrajectoryStore(std::string dir);
 
-  /// Bench names with a BENCH_<name>.json present, sorted.
+  /// Bench names with a BENCH_<name>.json — or a set of
+  /// BENCH_<name>.shard<K>of<N>.json fragments — present, sorted.
   [[nodiscard]] std::vector<std::string> list() const;
 
-  /// Load one bench's snapshot; throws when absent or malformed.
+  /// Load one bench's snapshot; throws when absent or malformed. When
+  /// only shard fragments exist they are loaded and merged transparently
+  /// (merge_shards' validation applies), so consumers never care whether
+  /// a sweep ran sharded.
   [[nodiscard]] Snapshot load(const std::string& bench_name) const;
+
+  /// Paths of the bench's shard fragments in this directory, sorted.
+  [[nodiscard]] std::vector<std::string> fragment_paths(const std::string& bench_name) const;
 
   [[nodiscard]] const std::string& dir() const { return dir_; }
 

@@ -25,7 +25,10 @@ inline std::optional<std::uint64_t> env_u64(const char* name, std::uint64_t min,
   errno = 0;
   char* end = nullptr;
   const unsigned long long parsed = std::strtoull(v, &end, 10);
-  const bool numeric = end != v && end != nullptr && *end == '\0' && *v != '-';
+  // First char must be a digit: strtoull itself would quietly accept
+  // leading whitespace, '+' and (via wraparound) '-'.
+  const bool numeric =
+      end != v && end != nullptr && *end == '\0' && *v >= '0' && *v <= '9';
   if (!numeric || errno == ERANGE) {
     std::fprintf(stderr, "[dwarn] warning: %s='%s' is not a valid unsigned integer; using default\n",
                  name, v);

@@ -1,0 +1,84 @@
+#include "engine/grid_registry.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/workload.hpp"
+
+namespace dwarn {
+
+const std::vector<std::string>& registered_grids() {
+  static const std::vector<std::string> names = {"fig1", "fig3", "ablation_detect_delay",
+                                                 "fixture"};
+  return names;
+}
+
+bool is_registered_grid(std::string_view name) {
+  const auto& names = registered_grids();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+namespace {
+
+std::vector<WorkloadSpec> default_workloads(const GridOptions& opt) {
+  if (!opt.workloads.empty()) return opt.workloads;
+  return paper_workloads();
+}
+
+std::vector<PolicyKind> default_policies(const GridOptions& opt) {
+  if (!opt.policies.empty()) return opt.policies;
+  return {kPaperPolicies.begin(), kPaperPolicies.end()};
+}
+
+}  // namespace
+
+const std::vector<Cycle>& detect_delay_variants() {
+  static const std::vector<Cycle> delays = {0, 3, 10, 25};
+  return delays;
+}
+
+RunGrid named_grid(std::string_view name, const GridOptions& opt) {
+  RunGrid grid;
+  if (name == "fig1" || name == "fig3") {
+    grid.machine(machine_spec("baseline"));
+    const auto ws = default_workloads(opt);
+    grid.workloads(ws);
+    const auto ps = default_policies(opt);
+    grid.policies(ps);
+    if (name == "fig3") grid.with_solo_baselines();
+  } else if (name == "ablation_detect_delay") {
+    for (const Cycle d : detect_delay_variants()) {
+      grid.machine(
+          machine_variant("baseline+" + std::to_string(d) + "cy", [d](std::size_t n) {
+            MachineConfig m = baseline_machine(n);
+            m.core.l1_detect_extra = d;
+            return m;
+          }));
+    }
+    const auto ws = default_workloads(opt);
+    grid.workloads(ws);
+    const auto ps = default_policies(opt);
+    grid.policies(ps);
+  } else if (name == "fixture") {
+    // The sharding correctness fixture: small enough for a ctest to run
+    // it several times, and with a pinned RunLength so every process —
+    // whatever its environment — expands a grid with the same
+    // fingerprint.
+    RunLength len;
+    len.warmup_insts = 500;
+    len.measure_insts = 2000;
+    grid.machine(machine_spec("baseline"))
+        .workload(workload_by_name("2-MIX"))
+        .workload(workload_by_name("2-MEM"))
+        .policy(PolicyKind::ICount)
+        .policy(PolicyKind::DWarn)
+        .length(len);
+  } else {
+    DWARN_CHECK(false && "unknown grid name (see registered_grids)");
+  }
+  if (opt.num_seeds > 1) grid.seed_count(opt.num_seeds);
+  return grid;
+}
+
+}  // namespace dwarn

@@ -1,0 +1,49 @@
+// Named grid registry: one place that knows how to build the grids the
+// CLI tools operate on.
+//
+// smt_analyze sweep, smt_shard plan/run and the sharding tests all need
+// the same grid for a given bench name — a sharded run is only mergeable
+// when every process expanded the identical grid, so the definition must
+// not be copy-pasted per tool. The benches themselves keep their own
+// (identical) grid construction because they also own table printing;
+// the registry covers the names the tools accept.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/run_spec.hpp"
+
+namespace dwarn {
+
+/// Options applied to a named grid. Empty workload/policy filters mean
+/// the bench's default set.
+struct GridOptions {
+  std::size_t num_seeds = 1;
+  std::vector<WorkloadSpec> workloads;
+  std::vector<PolicyKind> policies;
+};
+
+/// Grid names the registry builds:
+///   fig1                  baseline machine × 12 workloads × 6 policies
+///   fig3                  fig1 plus single-thread solo baselines
+///   ablation_detect_delay 4 detect-delay machine variants × grid
+///   fixture               tiny deterministic 2×2 grid with a hardcoded
+///                         short RunLength — the sharding round-trip
+///                         fixture; immune to SMT_SIM_INSTS on purpose
+[[nodiscard]] const std::vector<std::string>& registered_grids();
+
+[[nodiscard]] bool is_registered_grid(std::string_view name);
+
+/// Build a registered grid. Aborts (DWARN_CHECK) on an unknown name —
+/// CLIs validate with is_registered_grid first.
+[[nodiscard]] RunGrid named_grid(std::string_view name, const GridOptions& opt = {});
+
+/// The extra L1-miss detection delays behind ablation_detect_delay's
+/// "baseline+<d>cy" machine variants. The bench iterates this list to
+/// build its table headers and lookup keys, so bench and grid can never
+/// drift apart.
+[[nodiscard]] const std::vector<Cycle>& detect_delay_variants();
+
+}  // namespace dwarn

@@ -59,13 +59,26 @@ void ResultStore::set_meta(std::string key, std::string value) {
   meta_[std::move(key)] = std::move(value);
 }
 
+void ResultStore::set_shard(ShardHeader header) { shard_ = std::move(header); }
+
 void ResultStore::add_all(const ResultSet& rs) {
   records_.insert(records_.end(), rs.records().begin(), rs.records().end());
 }
 
 std::string ResultStore::to_json() const {
   std::ostringstream os;
-  os << "{\n  \"meta\": {";
+  os << "{\n";
+  if (shard_) {
+    os << "  \"shard\": {\"index\": " << shard_->index << ", \"count\": " << shard_->count
+       << ", \"grid_size\": " << shard_->grid_size << ", \"strategy\": \""
+       << to_string(shard_->strategy) << "\",\n            \"grid_fingerprint\": \""
+       << json_escape(shard_->fingerprint) << "\", \"indices\": [";
+    for (std::size_t i = 0; i < shard_->indices.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << shard_->indices[i];
+    }
+    os << "]},\n";
+  }
+  os << "  \"meta\": {";
   bool first = true;
   for (const auto& [k, v] : meta_) {
     os << (first ? "" : ",") << "\n    \"" << json_escape(k) << "\": \"" << json_escape(v)
@@ -82,7 +95,8 @@ std::string ResultStore::to_json() const {
        << "\",\n     \"cycles\": " << r.result.cycles
        << ", \"throughput\": " << fmt_double(r.result.throughput)
        << ", \"flushed_frac\": " << fmt_double(r.result.flushed_frac)
-       << ", \"wall_seconds\": " << fmt_double(r.wall_seconds) << ",\n     \"thread_ipc\": [";
+       << ", \"wall_seconds\": " << fmt_double(zero_wall_ ? 0.0 : r.wall_seconds)
+       << ",\n     \"thread_ipc\": [";
     for (std::size_t t = 0; t < r.result.thread_ipc.size(); ++t) {
       os << (t == 0 ? "" : ", ") << fmt_double(r.result.thread_ipc[t]);
     }
@@ -106,7 +120,7 @@ std::string ResultStore::to_csv() const {
        << csv_field(r.policy) << ',' << csv_field(r.tag) << ','
        << r.seed << ',' << to_string(r.role) << ',' << r.result.cycles << ','
        << fmt_double(r.result.throughput) << ',' << fmt_double(r.result.flushed_frac) << ','
-       << fmt_double(r.wall_seconds) << '\n';
+       << fmt_double(zero_wall_ ? 0.0 : r.wall_seconds) << '\n';
   }
   return os.str();
 }

@@ -8,11 +8,13 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "engine/experiment_engine.hpp"
+#include "engine/shard.hpp"
 
 namespace dwarn {
 
@@ -25,6 +27,19 @@ class ResultStore {
   /// Attach free-form metadata ("bench", "measure_insts", ...), emitted in
   /// the JSON "meta" object and as comment-free columns nowhere else.
   void set_meta(std::string key, std::string value);
+
+  /// Mark this store as one shard of a larger grid: to_json() then emits
+  /// the "shard" block (docs/sharding.md) ahead of "meta", and
+  /// merge_shards can reassemble the fragments into the canonical
+  /// snapshot. Records must be added in the header's index order.
+  void set_shard(ShardHeader header);
+
+  /// Serialize wall_seconds as 0 in JSON and CSV. Wall time measures the
+  /// build host, so it is the one field that breaks the bitwise-identity
+  /// contract between a sharded and an unsharded run of the same grid;
+  /// distributed runs zero it (smt_shard always, benches under
+  /// SMT_BENCH_ZERO_WALL=1).
+  void set_zero_wall(bool on) { zero_wall_ = on; }
 
   void add(const RunRecord& rec) { records_.push_back(rec); }
   void add_all(const ResultSet& rs);
@@ -46,7 +61,9 @@ class ResultStore {
 
  private:
   std::map<std::string, std::string> meta_;
+  std::optional<ShardHeader> shard_;
   std::vector<RunRecord> records_;
+  bool zero_wall_ = false;
 };
 
 }  // namespace dwarn

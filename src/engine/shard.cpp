@@ -1,0 +1,199 @@
+#include "engine/shard.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "engine/experiment_engine.hpp"
+#include "engine/result_store.hpp"
+
+namespace dwarn {
+
+std::optional<ShardStrategy> shard_strategy_from_name(std::string_view name) {
+  if (name == "contiguous") return ShardStrategy::Contiguous;
+  if (name == "strided") return ShardStrategy::Strided;
+  return std::nullopt;
+}
+
+std::optional<std::size_t> parse_decimal_size(std::string_view s, std::size_t max) {
+  // 15 digits cannot overflow 64 bits, and no in-range value needs more.
+  if (s.empty() || s.size() > 15) return std::nullopt;
+  std::size_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return v <= max ? std::optional<std::size_t>(v) : std::nullopt;
+}
+
+std::optional<ShardSpec> parse_shard(std::string_view s) {
+  const std::size_t slash = s.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto k = parse_decimal_size(s.substr(0, slash), kMaxShards);
+  const auto n = parse_decimal_size(s.substr(slash + 1), kMaxShards);
+  if (!k || !n) return std::nullopt;
+  if (*k < 1 || *n < 1 || *k > *n) return std::nullopt;
+  return ShardSpec{*k, *n};
+}
+
+std::optional<ShardSpec> shard_from_env(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return std::nullopt;
+  const auto spec = parse_shard(v);
+  if (!spec) {
+    std::fprintf(stderr,
+                 "[dwarn] warning: %s='%s' is not a valid K/N shard "
+                 "(need 1 <= K <= N <= %zu); running unsharded\n",
+                 name, v, kMaxShards);
+  }
+  return spec;
+}
+
+ShardStrategy shard_strategy_from_env(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return ShardStrategy::Contiguous;
+  if (const auto s = shard_strategy_from_name(v)) return *s;
+  std::fprintf(stderr,
+               "[dwarn] warning: %s='%s' is not a shard strategy "
+               "(contiguous|strided); using contiguous\n",
+               name, v);
+  return ShardStrategy::Contiguous;
+}
+
+ShardPlan ShardPlan::make(std::size_t grid_size, std::size_t count,
+                          ShardStrategy strategy) {
+  DWARN_CHECK(count >= 1);
+  ShardPlan plan;
+  plan.grid_size_ = grid_size;
+  plan.count_ = count;
+  plan.strategy_ = strategy;
+  return plan;
+}
+
+std::size_t ShardPlan::size(std::size_t k) const {
+  DWARN_CHECK(k >= 1 && k <= count_);
+  // Both strategies hand shard k one extra run while the remainder lasts.
+  const std::size_t base = grid_size_ / count_;
+  const std::size_t rem = grid_size_ % count_;
+  return base + (k - 1 < rem ? 1 : 0);
+}
+
+std::vector<std::size_t> ShardPlan::indices(std::size_t k) const {
+  DWARN_CHECK(k >= 1 && k <= count_);
+  std::vector<std::size_t> out;
+  out.reserve(size(k));
+  if (strategy_ == ShardStrategy::Contiguous) {
+    const std::size_t base = grid_size_ / count_;
+    const std::size_t rem = grid_size_ % count_;
+    const std::size_t begin = (k - 1) * base + std::min(k - 1, rem);
+    for (std::size_t i = begin; i < begin + size(k); ++i) out.push_back(i);
+  } else {
+    for (std::size_t i = k - 1; i < grid_size_; i += count_) out.push_back(i);
+  }
+  return out;
+}
+
+namespace {
+
+/// 64-bit FNV-1a, streamed field-by-field with a separator so that
+/// ("ab","c") and ("a","bc") hash differently.
+class Fnv1a {
+ public:
+  void feed(std::string_view s) {
+    for (const char c : s) feed_byte(static_cast<unsigned char>(c));
+    feed_byte(0x1f);  // field separator
+  }
+  void feed(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) feed_byte(static_cast<unsigned char>(v >> (8 * i)));
+    feed_byte(0x1f);
+  }
+  [[nodiscard]] std::string hex() const {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h_));
+    return buf;
+  }
+
+ private:
+  void feed_byte(unsigned char b) {
+    h_ ^= b;
+    h_ *= 0x100000001b3ull;
+  }
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace
+
+std::string grid_fingerprint(const std::vector<RunSpec>& specs) {
+  Fnv1a h;
+  h.feed(static_cast<std::uint64_t>(specs.size()));
+  for (const RunSpec& s : specs) {
+    h.feed(s.machine.name);
+    h.feed(s.workload.name);
+    h.feed(policy_name(s.policy));
+    h.feed(s.tag);
+    h.feed(s.seed);
+    h.feed(to_string(s.role));
+    h.feed(s.len.warmup_insts);
+    h.feed(s.len.measure_insts);
+    h.feed(s.len.max_cycles);
+  }
+  return h.hex();
+}
+
+std::string shard_fragment_filename(std::string_view bench, std::size_t k,
+                                    std::size_t n) {
+  return "BENCH_" + std::string(bench) + ".shard" + std::to_string(k) + "of" +
+         std::to_string(n) + ".json";
+}
+
+std::map<std::string, std::string> bench_meta(std::string_view bench,
+                                              const RunLength& len) {
+  return {
+      {"bench", std::string(bench)},
+      {"schema", "1"},
+      {"measure_insts", std::to_string(len.measure_insts)},
+      {"warmup_insts", std::to_string(len.warmup_insts)},
+  };
+}
+
+std::vector<RunSpec> slice_specs(const std::vector<RunSpec>& specs,
+                                 const std::vector<std::size_t>& indices) {
+  std::vector<RunSpec> out;
+  out.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    DWARN_CHECK(i < specs.size());
+    out.push_back(specs[i]);
+  }
+  return out;
+}
+
+bool run_shard_to_file(const std::vector<RunSpec>& specs, const ShardSpec& shard,
+                       ShardStrategy strategy,
+                       const std::map<std::string, std::string>& meta,
+                       const std::string& path, bool zero_wall) {
+  const ShardPlan plan = ShardPlan::make(specs.size(), shard.count, strategy);
+  ShardHeader header;
+  header.index = shard.index;
+  header.count = shard.count;
+  header.grid_size = specs.size();
+  header.strategy = strategy;
+  header.fingerprint = grid_fingerprint(specs);
+  header.indices = plan.indices(shard.index);
+
+  const ResultSet rs = ExperimentEngine().run(slice_specs(specs, header.indices));
+
+  ResultStore store;
+  for (const auto& [k, v] : meta) store.set_meta(k, v);
+  store.set_shard(header);
+  store.set_zero_wall(zero_wall);
+  store.add_all(rs);
+  if (!store.write_json(path)) return false;
+  std::printf("[shard %zu/%zu (%s): %zu of %zu runs -> %s]\n", shard.index, shard.count,
+              std::string(to_string(strategy)).c_str(), header.indices.size(),
+              specs.size(), path.c_str());
+  return true;
+}
+
+}  // namespace dwarn

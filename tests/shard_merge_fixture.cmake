@@ -1,0 +1,31 @@
+# ctest driver: `smt_shard merge` on the committed fragment fixtures,
+# passed out of order — must succeed and reproduce the committed merged
+# snapshot byte-for-byte. Invoked as
+#   cmake -DSMT_SHARD=... -DFIXTURES=<tests/data/shards> -DWORK_DIR=<scratch>
+#         -P shard_merge_fixture.cmake
+
+if(NOT DEFINED SMT_SHARD OR NOT DEFINED FIXTURES OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DSMT_SHARD=... -DFIXTURES=... -DWORK_DIR=... -P shard_merge_fixture.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# Deliberately out of order: 3, 1, 2. Order must not matter.
+execute_process(COMMAND "${SMT_SHARD}" merge
+                "${FIXTURES}/BENCH_tiny.shard3of3.json"
+                "${FIXTURES}/BENCH_tiny.shard1of3.json"
+                "${FIXTURES}/BENCH_tiny.shard2of3.json"
+                --out "${WORK_DIR}/merged.json"
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "out-of-order merge failed (${rc}):\n${out}\n${err}")
+endif()
+
+execute_process(COMMAND "${CMAKE_COMMAND}" -E compare_files
+                "${FIXTURES}/BENCH_tiny.merged.json" "${WORK_DIR}/merged.json"
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "merged output differs from committed tests/data/shards/BENCH_tiny.merged.json")
+endif()
+message(STATUS "out-of-order merge reproduces the committed snapshot (bitwise)")

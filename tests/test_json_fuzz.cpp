@@ -1,0 +1,207 @@
+// Property-style fuzz tests for src/analysis/json.* and json_escape:
+// seeded-random escape-heavy strings and nested documents must survive a
+// serialize → parse round trip unchanged. The emitter under test is the
+// same convention ResultStore::to_json uses (json_escape for strings,
+// %.17g for numbers), so surviving here is what guarantees snapshots and
+// shard fragments reload losslessly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <string>
+
+#include "analysis/json.hpp"
+#include "engine/result_store.hpp"
+
+namespace dwarn {
+namespace {
+
+using json::Value;
+
+// ---- reference emitter (ResultStore's conventions) ---------------------------
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void emit(const Value& v, std::string& out) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    out += fmt_double(v.as_number());
+  } else if (v.is_string()) {
+    out += '"';
+    out += json_escape(v.as_string());
+    out += '"';
+  } else if (v.is_array()) {
+    out += '[';
+    bool first = true;
+    for (const Value& e : v.as_array()) {
+      if (!first) out += ", ";
+      first = false;
+      emit(e, out);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    bool first = true;
+    for (const auto& [k, e] : v.as_object()) {
+      if (!first) out += ", ";
+      first = false;
+      out += '"';
+      out += json_escape(k);
+      out += "\": ";
+      emit(e, out);
+    }
+    out += '}';
+  }
+}
+
+// ---- structural equality -----------------------------------------------------
+
+void expect_equal(const Value& a, const Value& b, const std::string& path) {
+  if (a.is_null()) {
+    EXPECT_TRUE(b.is_null()) << path;
+  } else if (a.is_bool()) {
+    ASSERT_TRUE(b.is_bool()) << path;
+    EXPECT_EQ(a.as_bool(), b.as_bool()) << path;
+  } else if (a.is_number()) {
+    ASSERT_TRUE(b.is_number()) << path;
+    // %.17g guarantees doubles round-trip bit-exactly.
+    EXPECT_EQ(a.as_number(), b.as_number()) << path;
+  } else if (a.is_string()) {
+    ASSERT_TRUE(b.is_string()) << path;
+    EXPECT_EQ(a.as_string(), b.as_string()) << path;
+  } else if (a.is_array()) {
+    ASSERT_TRUE(b.is_array()) << path;
+    ASSERT_EQ(a.as_array().size(), b.as_array().size()) << path;
+    for (std::size_t i = 0; i < a.as_array().size(); ++i) {
+      expect_equal(a.as_array()[i], b.as_array()[i], path + "[" + std::to_string(i) + "]");
+    }
+  } else {
+    ASSERT_TRUE(b.is_object()) << path;
+    ASSERT_EQ(a.as_object().size(), b.as_object().size()) << path;
+    for (const auto& [k, v] : a.as_object()) {
+      const Value* other = b.find(k);
+      ASSERT_NE(other, nullptr) << path << "." << k;
+      expect_equal(v, *other, path + "." + k);
+    }
+  }
+}
+
+// ---- generators --------------------------------------------------------------
+
+/// Escape-heavy string: quotes, backslashes, every control character,
+/// whitespace escapes and non-ASCII bytes, all far more frequent than in
+/// natural data. Bytes >= 0x80 pass through json_escape raw (the emitter
+/// treats strings as opaque bytes), so they round-trip as-is.
+std::string random_nasty_string(std::mt19937_64& rng) {
+  static constexpr char kNasty[] = {'"', '\\', '\n', '\r', '\t', '\b', '\f',
+                                    '/', '{',  '}',  '[',  ']',  ':',  ','};
+  std::uniform_int_distribution<int> len(0, 24);
+  std::uniform_int_distribution<int> kind(0, 5);
+  std::string s;
+  const int n = len(rng);
+  for (int i = 0; i < n; ++i) {
+    switch (kind(rng)) {
+      case 0:
+        s += kNasty[std::uniform_int_distribution<std::size_t>(0, std::size(kNasty) - 1)(rng)];
+        break;
+      case 1:  // any control character, including NUL
+        s += static_cast<char>(std::uniform_int_distribution<int>(0x00, 0x1f)(rng));
+        break;
+      case 2:  // high bytes
+        s += static_cast<char>(std::uniform_int_distribution<int>(0x80, 0xff)(rng));
+        break;
+      default:
+        s += static_cast<char>(std::uniform_int_distribution<int>(0x20, 0x7e)(rng));
+        break;
+    }
+  }
+  return s;
+}
+
+double random_number(std::mt19937_64& rng) {
+  switch (std::uniform_int_distribution<int>(0, 3)(rng)) {
+    case 0:  // integers, incl. counter-sized ones
+      return static_cast<double>(
+          std::uniform_int_distribution<std::int64_t>(-1'000'000'000'000ll,
+                                                      1'000'000'000'000ll)(rng));
+    case 1:  // tiny magnitudes like flushed_frac
+      return std::uniform_real_distribution<double>(-1e-6, 1e-6)(rng);
+    case 2:  // awkward magnitudes
+      return std::uniform_real_distribution<double>(-1e17, 1e17)(rng);
+    default:
+      return std::uniform_real_distribution<double>(-1000.0, 1000.0)(rng);
+  }
+}
+
+Value random_value(std::mt19937_64& rng, int depth) {
+  const int max_kind = depth > 0 ? 5 : 3;
+  switch (std::uniform_int_distribution<int>(0, max_kind)(rng)) {
+    case 0: return Value(nullptr);
+    case 1: return Value(std::uniform_int_distribution<int>(0, 1)(rng) == 1);
+    case 2: return Value(random_number(rng));
+    case 3: return Value(random_nasty_string(rng));
+    case 4: {
+      json::Array arr;
+      const int n = std::uniform_int_distribution<int>(0, 5)(rng);
+      for (int i = 0; i < n; ++i) arr.push_back(random_value(rng, depth - 1));
+      return Value(std::move(arr));
+    }
+    default: {
+      json::Object obj;
+      const int n = std::uniform_int_distribution<int>(0, 5)(rng);
+      for (int i = 0; i < n; ++i) {
+        obj[random_nasty_string(rng)] = random_value(rng, depth - 1);
+      }
+      return Value(std::move(obj));
+    }
+  }
+}
+
+// ---- properties --------------------------------------------------------------
+
+TEST(JsonFuzz, EscapeHeavyStringsRoundTrip) {
+  std::mt19937_64 rng(0xd0c5'11ed);  // fixed seed: failures must reproduce
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::string original = random_nasty_string(rng);
+    const std::string doc = "\"" + json_escape(original) + "\"";
+    const Value parsed = json::parse(doc);
+    ASSERT_TRUE(parsed.is_string()) << doc;
+    EXPECT_EQ(parsed.as_string(), original) << doc;
+  }
+}
+
+TEST(JsonFuzz, NestedDocumentsRoundTrip) {
+  std::mt19937_64 rng(0x5eed'f00d);
+  for (int iter = 0; iter < 500; ++iter) {
+    const Value original = random_value(rng, 4);
+    std::string text;
+    emit(original, text);
+    const Value reparsed = json::parse(text);
+    expect_equal(original, reparsed, "$");
+
+    // Idempotence: emitting the reparsed value reproduces the text.
+    std::string text2;
+    emit(reparsed, text2);
+    EXPECT_EQ(text, text2);
+  }
+}
+
+TEST(JsonFuzz, KnownEdgeStrings) {
+  for (const std::string s :
+       {std::string("\x00\x01\x1f", 3), std::string("\\u0000"), std::string("\"\"\""),
+        std::string("\\\\\\"), std::string("a\tb\nc\rd"), std::string("\xc3\xa9"),
+        std::string("\xff\xfe"), std::string("end with backslash \\")}) {
+    const Value parsed = json::parse("\"" + json_escape(s) + "\"");
+    EXPECT_EQ(parsed.as_string(), s);
+  }
+}
+
+}  // namespace
+}  // namespace dwarn

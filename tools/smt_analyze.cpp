@@ -27,8 +27,10 @@
 #include "analysis/seed_sweep.hpp"
 #include "analysis/trajectory.hpp"
 #include "engine/experiment_engine.hpp"
+#include "engine/grid_registry.hpp"
 #include "engine/result_store.hpp"
 #include "engine/run_spec.hpp"
+#include "engine/shard.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/report.hpp"
 #include "sim/workload.hpp"
@@ -37,13 +39,26 @@ namespace {
 
 using namespace dwarn;
 
+/// Registry grid names the sweep accepts ("fixture" is registry-only:
+/// its pinned 2x2 grid cannot fill the paper-shaped tables).
+std::string sweep_grid_names(const char* sep) {
+  std::string names;
+  for (const std::string& g : registered_grids()) {
+    if (g == "fixture") continue;
+    names += names.empty() ? g : sep + g;
+  }
+  return names;
+}
+
 int usage(const char* error = nullptr) {
   if (error != nullptr) std::fprintf(stderr, "smt_analyze: %s\n\n", error);
   std::fprintf(stderr,
                "usage:\n"
-               "  smt_analyze sweep --bench <fig1|fig3|ablation_detect_delay>\n"
+               "  smt_analyze sweep --bench <%s>\n"
                "      [--seeds N] [--workloads A,B,...] [--policies P,Q,...]\n"
-               "      [--json PATH]\n"
+               "      [--json PATH]\n",
+               sweep_grid_names("|").c_str());
+  std::fprintf(stderr,
                "  smt_analyze stats <snapshot.json> [--metric throughput|cycles|flushed_frac]\n"
                "  smt_analyze diff <old.json> <new.json> [--tol PCT[%%]] [--all]\n"
                "\n"
@@ -171,30 +186,15 @@ int run_sweep(const SweepOptions& opt) {
     return usage("unknown policy name (ICOUNT, STALL, FLUSH, DG, PDG, DWarn)");
   }
 
-  RunGrid grid;
-  bool machine_variants = false;
-  if (opt.bench == "fig1") {
-    grid.machine(machine_spec("baseline")).workloads(workloads).policies(policies);
-  } else if (opt.bench == "fig3") {
-    grid.machine(machine_spec("baseline"))
-        .workloads(workloads)
-        .policies(policies)
-        .with_solo_baselines();
-  } else if (opt.bench == "ablation_detect_delay") {
-    for (const Cycle d : {Cycle{0}, Cycle{3}, Cycle{10}, Cycle{25}}) {
-      grid.machine(
-          machine_variant("baseline+" + std::to_string(d) + "cy", [d](std::size_t n) {
-            MachineConfig m = baseline_machine(n);
-            m.core.l1_detect_extra = d;
-            return m;
-          }));
-    }
-    grid.workloads(workloads).policies(policies);
-    machine_variants = true;
-  } else {
-    return usage("unknown --bench (fig1, fig3, ablation_detect_delay)");
+  // Grid construction lives in the registry, shared with smt_shard: a
+  // sweep here and a sharded run there must expand the identical grid.
+  if (!is_registered_grid(opt.bench) || opt.bench == "fixture") {
+    return usage(("unknown --bench (" + sweep_grid_names(", ") + ")").c_str());
   }
-  grid.seed_count(opt.num_seeds);
+  const bool machine_variants = opt.bench == "ablation_detect_delay";
+  const RunGrid grid = named_grid(
+      opt.bench, GridOptions{.num_seeds = opt.num_seeds, .workloads = workloads,
+                             .policies = policies});
 
   std::cout << "sweeping " << opt.bench << " across " << opt.num_seeds << " seed"
             << (opt.num_seeds == 1 ? "" : "s") << "...\n";
@@ -275,10 +275,10 @@ int main(int argc, char** argv) {
           if (const auto* v = value()) opt.bench = *v;
         } else if (a == "--seeds") {
           const auto* v = value();
-          if (v == nullptr) return usage("--seeds needs a value");
-          const int n = std::atoi(v->c_str());
-          if (n < 1 || n > 64) return usage("--seeds must be in [1, 64]");
-          opt.num_seeds = static_cast<std::size_t>(n);
+          // Strict digits-only parse: atoi would silently accept "8/2".
+          const auto n = v ? parse_decimal_size(*v, 64) : std::nullopt;
+          if (!n || *n < 1) return usage("--seeds must be in [1, 64]");
+          opt.num_seeds = *n;
         } else if (a == "--workloads") {
           if (const auto* v = value()) opt.workloads = split_csv(*v);
         } else if (a == "--policies") {
