@@ -30,6 +30,7 @@
 #include "sim/metrics.hpp"
 #include "sim/report.hpp"
 #include "sim/workload.hpp"
+#include "trace/trace_cache.hpp"
 
 namespace dwarn::benchutil {
 
@@ -86,6 +87,18 @@ inline std::string bench_output_path(const std::string& bench_name) {
 /// unsharded bitwise check in CI sets this on both sides).
 inline bool bench_zero_wall() { return env_u64("SMT_BENCH_ZERO_WALL", 0, 1).value_or(0) == 1; }
 
+/// SMT_TRACE_CACHE_STATS=1: attach the shared warm-cache counters as
+/// "trace_cache.*" meta entries. Off by default — the counters depend on
+/// scheduling and on whether the cache is enabled at all, so emitting them
+/// unconditionally would break the byte-identity contract between
+/// SMT_TRACE_CACHE=1 and =0 snapshots of the same grid.
+inline void maybe_attach_trace_cache_stats(ResultStore& store) {
+  if (env_u64("SMT_TRACE_CACHE_STATS", 0, 1).value_or(0) != 1) return;
+  for (const auto& [k, v] : trace_cache_meta(TraceCache::shared().stats())) {
+    store.set_meta(k, v);
+  }
+}
+
 /// Snapshot every run of `rs` (counters included) to BENCH_<name>.json.
 /// Returns false after a loud stderr message when the snapshot cannot be
 /// written — benches exit nonzero on that, a lost trajectory file must
@@ -95,6 +108,7 @@ inline bool bench_zero_wall() { return env_u64("SMT_BENCH_ZERO_WALL", 0, 1).valu
                                            const RunLength& len = RunLength::from_env()) {
   ResultStore store;
   for (const auto& [k, v] : bench_meta(bench_name, len)) store.set_meta(k, v);
+  maybe_attach_trace_cache_stats(store);
   store.set_zero_wall(bench_zero_wall());
   store.add_all(rs);
   const std::string path = bench_output_path(bench_name);

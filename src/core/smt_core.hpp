@@ -36,14 +36,17 @@
 #include "core/rename_map.hpp"
 #include "mem/hierarchy.hpp"
 #include "policy/fetch_policy.hpp"
-#include "trace/trace_stream.hpp"
+#include "trace/code_layout.hpp"
+#include "trace/inst_stream.hpp"
 #include "trace/wrongpath.hpp"
 
 namespace dwarn {
 
-/// The instruction supply of one hardware context.
+/// The instruction supply of one hardware context. The stream may be a
+/// generating TraceStream or a warm-cache ReplayStream — the core cannot
+/// tell (and must not be able to tell) the difference.
 struct ThreadProgram {
-  TraceStream* stream = nullptr;          ///< correct-path instructions
+  InstStream* stream = nullptr;           ///< correct-path instructions
   WrongPathSupplier* wrongpath = nullptr; ///< instructions beyond a mispredict
 };
 
@@ -114,7 +117,7 @@ class SmtCore final : public PolicyHost {
   };
 
   struct ThreadCtx {
-    TraceStream* stream = nullptr;
+    InstStream* stream = nullptr;
     WrongPathSupplier* wrongpath = nullptr;
     std::deque<DynInst> window;  ///< in-flight instructions, oldest first
     RenameMap rmap;

@@ -84,6 +84,13 @@ class ExperimentEngine {
   [[nodiscard]] ResultSet run(const RunGrid& grid) const { return run(grid.expand()); }
   [[nodiscard]] ResultSet run(const std::vector<RunSpec>& specs) const;
 
+  /// Execution order of `specs` (a permutation of grid indices). With the
+  /// warm trace cache on, runs are grouped by (workload, seed) so every
+  /// variant of a grid point replays the group's materialized traces while
+  /// they are hot; result indices are unaffected. Exposed as a test hook.
+  [[nodiscard]] static std::vector<std::size_t> batch_order(
+      const std::vector<RunSpec>& specs);
+
  private:
   ThreadPool* pool_;
   std::size_t max_workers_;  ///< cap on in-flight runs (0 = pool width)

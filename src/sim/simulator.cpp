@@ -1,17 +1,70 @@
 #include "sim/simulator.hpp"
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/env.hpp"
 #include "common/rng.hpp"
+#include "trace/trace_cache.hpp"
+#include "trace/trace_stream.hpp"
 
 namespace dwarn {
 
+namespace {
+
+constexpr std::uint64_t kMaxInsts = 1'000'000'000'000ull;  // 1T, far past any run
+
+/// Parse a decimal window count out of [begin, end); nullopt on anything
+/// that is not a plain digit string in [min, kMaxInsts].
+std::optional<std::uint64_t> parse_window(const char* begin, const char* end,
+                                          std::uint64_t min) {
+  if (begin == end || end - begin > 15) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char* p = begin; p != end; ++p) {
+    if (*p < '0' || *p > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::uint64_t>(*p - '0');
+  }
+  return v >= min && v <= kMaxInsts ? std::optional<std::uint64_t>(v) : std::nullopt;
+}
+
+/// SMT_BENCH_WINDOWS: "<warmup>:<measure>" or "<measure>" (warm-up =
+/// measure / 4). One knob instead of the SMT_WARMUP_INSTS/SMT_SIM_INSTS
+/// pair CI used to repeat per step; malformed values warn and are ignored.
+void apply_bench_windows(RunLength& len) {
+  const char* v = std::getenv("SMT_BENCH_WINDOWS");
+  if (v == nullptr) return;
+  const char* colon = v;
+  while (*colon != '\0' && *colon != ':') ++colon;
+  std::optional<std::uint64_t> warmup;
+  std::optional<std::uint64_t> measure;
+  if (*colon == ':') {
+    warmup = parse_window(v, colon, /*min=*/0);  // "0:<measure>" skips warm-up
+    measure = parse_window(colon + 1, colon + 1 + std::strlen(colon + 1), /*min=*/1);
+  } else {
+    measure = parse_window(v, colon, /*min=*/1);
+    if (measure) warmup = *measure / 4;
+  }
+  if (!warmup || !measure) {
+    std::fprintf(stderr,
+                 "[dwarn] warning: SMT_BENCH_WINDOWS='%s' is not '<warmup>:<measure>' "
+                 "or '<measure>'; using defaults\n",
+                 v);
+    return;
+  }
+  len.warmup_insts = *warmup;
+  len.measure_insts = *measure;
+}
+
+}  // namespace
+
 RunLength RunLength::from_env() {
-  // Invalid or out-of-range values warn (inside env_u64) and keep the
-  // defaults: a typo in a sweep script must not wrap to a garbage window.
-  constexpr std::uint64_t kMaxInsts = 1'000'000'000'000ull;  // 1T, far past any run
+  // Invalid or out-of-range values warn (inside env_u64 / the windows
+  // parser) and keep the defaults: a typo in a sweep script must not wrap
+  // to a garbage window. The combined knob applies first, the specific
+  // variables override it field-by-field.
   RunLength len;
+  apply_bench_windows(len);
   if (const auto v = env_u64("SMT_SIM_INSTS", 1, kMaxInsts)) {
     len.measure_insts = *v;
   }
@@ -21,8 +74,29 @@ RunLength RunLength::from_env() {
   return len;
 }
 
+std::uint64_t thread_stream_seed(const WorkloadSpec& workload, std::size_t t,
+                                 std::uint64_t seed) {
+  DWARN_CHECK(t < workload.num_threads());
+  const Benchmark b = workload.benchmarks[t];
+  std::size_t instance = 0;
+  for (std::size_t u = 0; u < t; ++u) {
+    if (workload.benchmarks[u] == b) ++instance;
+  }
+  return derive_seed(seed, static_cast<std::uint64_t>(b) + 1, instance + 1);
+}
+
+std::uint64_t trace_window_insts(const RunLength& len) {
+  // Slack past the committed windows: the front end runs ahead of commit
+  // by at most the ROB + front-end buffering, far below 8K on every
+  // machine preset. Overshooting costs a ReplayStream continuation (still
+  // bit-exact), never an error.
+  constexpr std::uint64_t kSlackInsts = 8192;
+  return len.warmup_insts + len.measure_insts + kSlackInsts;
+}
+
 Simulator::Simulator(const MachineConfig& machine, const WorkloadSpec& workload,
-                     PolicyKind policy, const PolicyParams& params, std::uint64_t seed)
+                     PolicyKind policy, const PolicyParams& params, std::uint64_t seed,
+                     std::uint64_t trace_insts_hint)
     : machine_(machine), workload_(workload) {
   DWARN_CHECK(workload_.num_threads() >= 1);
   machine_.core.num_threads = workload_.num_threads();
@@ -31,20 +105,23 @@ Simulator::Simulator(const MachineConfig& machine, const WorkloadSpec& workload,
   bpred_ = std::make_unique<FrontEndPredictor>(machine_.bpred, workload_.num_threads(),
                                                stats_);
 
+  // Warm trace cache: with a demand hint and SMT_TRACE_CACHE on, threads
+  // replay shared MaterializedTrace buffers; the instruction sequences are
+  // bit-identical to on-demand generation either way.
+  const bool replay = trace_insts_hint > 0 && trace_cache_enabled();
+
   std::vector<ThreadProgram> programs;
   programs.reserve(workload_.num_threads());
   for (std::size_t t = 0; t < workload_.num_threads(); ++t) {
     const Benchmark b = workload_.benchmarks[t];
-    // Replicated instances of a benchmark get independent stream seeds
-    // (the paper shifts the second instance by 1M instructions instead).
-    std::size_t instance = 0;
-    for (std::size_t u = 0; u < t; ++u) {
-      if (workload_.benchmarks[u] == b) ++instance;
-    }
-    const std::uint64_t tseed =
-        derive_seed(seed, static_cast<std::uint64_t>(b) + 1, instance + 1);
+    const std::uint64_t tseed = thread_stream_seed(workload_, t, seed);
     const auto tid = static_cast<ThreadId>(t);
-    streams_.push_back(std::make_unique<TraceStream>(profile_of(b), tid, tseed));
+    if (replay) {
+      streams_.push_back(std::make_unique<ReplayStream>(
+          TraceCache::shared().acquire(profile_of(b), tid, tseed, trace_insts_hint)));
+    } else {
+      streams_.push_back(std::make_unique<TraceStream>(profile_of(b), tid, tseed));
+    }
     wrongpaths_.push_back(
         std::make_unique<WrongPathSupplier>(profile_of(b), tid, tseed));
     programs.push_back(ThreadProgram{streams_.back().get(), wrongpaths_.back().get()});
@@ -107,7 +184,7 @@ SimResult Simulator::run(const RunLength& len) {
 SimResult run_simulation(const MachineConfig& machine, const WorkloadSpec& workload,
                          PolicyKind policy, const RunLength& len,
                          const PolicyParams& params, std::uint64_t seed) {
-  Simulator sim(machine, workload, policy, params, seed);
+  Simulator sim(machine, workload, policy, params, seed, trace_window_insts(len));
   return sim.run(len);
 }
 

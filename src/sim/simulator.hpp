@@ -22,8 +22,13 @@
 namespace dwarn {
 
 /// Run-length controls. `from_env` honors:
-///   SMT_SIM_INSTS    measurement window, total committed instructions
-///   SMT_WARMUP_INSTS warm-up window, total committed instructions
+///   SMT_BENCH_WINDOWS "<warmup>:<measure>" (or just "<measure>", warm-up
+///                     defaulting to a quarter of it): both windows in one
+///                     knob, so CI and sweep scripts set them once instead
+///                     of repeating per-bench flag pairs
+///   SMT_SIM_INSTS     measurement window, total committed instructions
+///   SMT_WARMUP_INSTS  warm-up window, total committed instructions
+/// The specific variables override the combined one field-by-field.
 struct RunLength {
   std::uint64_t warmup_insts = 100'000;
   std::uint64_t measure_insts = 400'000;
@@ -47,9 +52,16 @@ struct SimResult {
 /// A fully assembled machine + workload + policy.
 class Simulator {
  public:
+  /// `trace_insts_hint` is the expected per-thread instruction demand of
+  /// the coming run (trace_window_insts of its RunLength). When it is
+  /// nonzero and SMT_TRACE_CACHE is on, the per-thread streams replay
+  /// shared MaterializedTrace buffers from TraceCache::shared() instead of
+  /// regenerating; 0 (direct construction, demand unknown) keeps the
+  /// on-demand generating path. Either way the instruction sequences — and
+  /// therefore all results — are bit-identical.
   Simulator(const MachineConfig& machine, const WorkloadSpec& workload,
             PolicyKind policy, const PolicyParams& params = {},
-            std::uint64_t seed = 1);
+            std::uint64_t seed = 1, std::uint64_t trace_insts_hint = 0);
 
   /// Warm up, reset statistics, then measure. Returns the result summary.
   SimResult run(const RunLength& len);
@@ -69,13 +81,28 @@ class Simulator {
   StatSet stats_;
   std::unique_ptr<MemoryHierarchy> mem_;
   std::unique_ptr<FrontEndPredictor> bpred_;
-  std::vector<std::unique_ptr<TraceStream>> streams_;
+  std::vector<std::unique_ptr<InstStream>> streams_;
   std::vector<std::unique_ptr<WrongPathSupplier>> wrongpaths_;
   std::unique_ptr<SmtCore> core_;
   std::unique_ptr<FetchPolicy> policy_;
 };
 
-/// Convenience: build + run in one call.
+/// Per-thread stream seed of context `t` in `workload` under run seed
+/// `seed`: replicated instances of a benchmark get independent seeds (the
+/// paper shifts the second instance by 1M instructions instead). This is
+/// the trace-cache key derivation — the Simulator and anything that
+/// enumerates trace keys (bench_micro_trace_cache) must share it.
+[[nodiscard]] std::uint64_t thread_stream_seed(const WorkloadSpec& workload,
+                                               std::size_t t, std::uint64_t seed);
+
+/// Upper bound on one thread's instruction demand for a run of `len`:
+/// both windows plus in-flight slack (a thread can commit nearly every
+/// instruction of a run when its co-runners stall). Sizes MaterializedTrace
+/// buffers so warm-cache replays stay inside them.
+[[nodiscard]] std::uint64_t trace_window_insts(const RunLength& len);
+
+/// Convenience: build + run in one call (warm-cache aware: the trace
+/// demand hint is derived from `len`).
 [[nodiscard]] SimResult run_simulation(const MachineConfig& machine,
                                        const WorkloadSpec& workload, PolicyKind policy,
                                        const RunLength& len, const PolicyParams& params = {},

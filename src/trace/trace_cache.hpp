@@ -1,0 +1,205 @@
+// Warm trace cache: materialize an instruction stream once, replay it
+// across every grid point that needs it.
+//
+// The policy and machine axes of an experiment grid never change the
+// workload trace — only (BenchmarkProfile, tid, seed) does — so a sweep
+// that regenerates each thread's stream per run repeats identical work.
+// MaterializedTrace generates the stream once into an immutable contiguous
+// buffer; ReplayStream satisfies the InstStream contract by indexing that
+// buffer; TraceCache shares the buffers across concurrent runs under an
+// LRU byte budget.
+//
+// Determinism contract: a replayed run is bit-identical to a regenerated
+// run. Generation is a pure function of (profile, tid, seed), the buffer
+// records its output verbatim, and a run that outlives the buffer
+// continues from a snapshot of the generator state taken right after the
+// last materialized instruction — so the core observes the exact sequence
+// TraceStream would have produced, and BENCH_*.json snapshots compare
+// byte-for-byte with the cache on or off (enforced by ctest + CI).
+//
+// Environment knobs (read per construction, so tests can toggle them):
+//   SMT_TRACE_CACHE     1 (default) share traces; 0 regenerate per run
+//   SMT_TRACE_CACHE_MB  LRU budget for cached buffers (default 256)
+#pragma once
+
+#include <compare>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "trace/benchmark_profile.hpp"
+#include "trace/inst_stream.hpp"
+#include "trace/trace_stream.hpp"
+
+namespace dwarn {
+
+/// Identity of a materialized stream. The machine, policy and run length
+/// deliberately do not appear: they never influence generated instructions.
+struct TraceKey {
+  Benchmark bench{};
+  ThreadId tid = 0;
+  std::uint64_t seed = 0;
+
+  auto operator<=>(const TraceKey&) const = default;
+};
+
+/// Immutable buffer of the first `num_insts` correct-path instructions of
+/// one (profile, tid, seed) stream, plus the generator state right past
+/// the buffer so replay can extend the sequence bit-exactly.
+class MaterializedTrace {
+ public:
+  MaterializedTrace(const BenchmarkProfile& prof, ThreadId tid, std::uint64_t seed,
+                    std::uint64_t num_insts);
+
+  /// Extension: `base`'s buffer plus generation from base.size() up to
+  /// `num_insts` (>= base.size()), continued from the retained tail state
+  /// — O(delta) work instead of regenerating the whole stream, and
+  /// bit-identical to a from-scratch materialization of the same length.
+  MaterializedTrace(const MaterializedTrace& base, std::uint64_t num_insts);
+
+  [[nodiscard]] std::uint64_t size() const { return buf_.size(); }
+  [[nodiscard]] const TraceInst& operator[](InstSeq seq) const {
+    return buf_[static_cast<std::size_t>(seq)];
+  }
+  [[nodiscard]] const CodeLayout& layout() const { return tail_.layout(); }
+  /// Generator state positioned at sequence size(): the continuation seed
+  /// for replays that run past the buffer.
+  [[nodiscard]] const TraceStream& tail() const { return tail_; }
+  [[nodiscard]] const TraceKey& key() const { return key_; }
+  /// Approximate resident bytes (buffer + generator overhead), the unit
+  /// the cache budget is accounted in.
+  [[nodiscard]] std::size_t bytes() const;
+
+ private:
+  TraceKey key_;
+  TraceStream tail_;
+  std::vector<TraceInst> buf_;
+};
+
+/// InstStream over a shared MaterializedTrace. Reads are lock-free random
+/// access into the immutable buffer; sequences past the buffer fall back
+/// to a private continuation generator cloned from the trace's tail, so
+/// an undersized buffer costs speed, never correctness.
+class ReplayStream final : public InstStream {
+ public:
+  explicit ReplayStream(std::shared_ptr<const MaterializedTrace> trace)
+      : trace_(std::move(trace)) {
+    DWARN_CHECK(trace_ != nullptr);
+  }
+
+  const TraceInst& at(InstSeq seq) override {
+    DWARN_CHECK(seq >= base_seq_);
+    if (seq >= hi_seq_) hi_seq_ = seq + 1;
+    if (seq < trace_->size()) return (*trace_)[seq];
+    if (!cont_) cont_.emplace(trace_->tail());
+    return cont_->at(seq);
+  }
+
+  void retire_below(InstSeq seq) override {
+    if (seq > hi_seq_) seq = hi_seq_;
+    if (seq > base_seq_) base_seq_ = seq;
+    if (cont_) cont_->retire_below(seq);
+  }
+
+  [[nodiscard]] const CodeLayout& layout() const override { return trace_->layout(); }
+  [[nodiscard]] InstSeq window_base() const override { return base_seq_; }
+  [[nodiscard]] std::size_t window_size() const override {
+    return static_cast<std::size_t>(hi_seq_ - base_seq_);
+  }
+
+  /// Whether this replay ran past the materialized buffer (test hook).
+  [[nodiscard]] bool overflowed() const { return cont_.has_value(); }
+  [[nodiscard]] const MaterializedTrace& trace() const { return *trace_; }
+
+ private:
+  std::shared_ptr<const MaterializedTrace> trace_;
+  std::optional<TraceStream> cont_;  ///< lazy continuation past the buffer
+  InstSeq base_seq_ = 0;
+  InstSeq hi_seq_ = 0;  ///< one past the highest sequence served
+};
+
+/// Counter snapshot of one TraceCache (all values since construction or
+/// the last clear()).
+struct TraceCacheStats {
+  std::uint64_t hits = 0;       ///< acquire served from a cached buffer
+  std::uint64_t misses = 0;     ///< acquire materialized a new key
+  std::uint64_t grows = 0;      ///< cached buffer too short; rebuilt larger
+  std::uint64_t evictions = 0;  ///< entries dropped to fit the budget
+  std::uint64_t entries = 0;    ///< currently cached buffers
+  std::uint64_t bytes = 0;      ///< currently cached bytes
+  std::uint64_t budget_bytes = 0;
+};
+
+/// Thread-safe LRU cache of MaterializedTrace buffers keyed by TraceKey.
+/// Concurrent acquires of the same key build once: later callers block
+/// until the builder publishes. Evicted buffers stay alive for holders of
+/// their shared_ptr; the budget bounds cached bytes, not in-flight bytes.
+class TraceCache {
+ public:
+  explicit TraceCache(std::size_t budget_bytes) : budget_bytes_(budget_bytes) {}
+
+  /// The buffer for (prof, tid, seed), materialized (or rebuilt larger)
+  /// so that size() >= min_insts. min_insts == 0 is treated as 1.
+  [[nodiscard]] std::shared_ptr<const MaterializedTrace> acquire(
+      const BenchmarkProfile& prof, ThreadId tid, std::uint64_t seed,
+      std::uint64_t min_insts);
+
+  [[nodiscard]] TraceCacheStats stats() const;
+
+  /// Drop every cached buffer and reset the counters.
+  void clear();
+
+  /// Retarget the byte budget (evicts immediately if now over).
+  void set_budget_bytes(std::size_t bytes);
+
+  /// Process-wide cache, budget from SMT_TRACE_CACHE_MB at first use.
+  static TraceCache& shared();
+
+ private:
+  struct Slot {
+    std::shared_ptr<const MaterializedTrace> trace;  ///< null while building
+    bool building = false;
+  };
+
+  /// Evict least-recently-used entries until under budget. The freshly
+  /// touched `keep` key survives even when it alone exceeds the budget —
+  /// it is in active use by the caller.
+  void evict_over_budget_locked(const TraceKey& keep);
+  void touch_locked(const TraceKey& key);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<TraceKey, Slot> slots_;
+  std::list<TraceKey> lru_;  ///< published entries, most recent first
+  std::size_t budget_bytes_;
+  std::size_t bytes_ = 0;  ///< cached (published) bytes
+  TraceCacheStats stats_{};
+};
+
+/// SMT_TRACE_CACHE: 1 (default) = engine/run_simulation share traces via
+/// TraceCache::shared(); 0 = every run regenerates on demand.
+[[nodiscard]] bool trace_cache_enabled();
+
+/// SMT_TRACE_CACHE_MB as bytes (default 256 MiB).
+[[nodiscard]] std::size_t trace_cache_budget_bytes();
+
+/// One-line human description of the effective mode, for CLI plan output:
+/// "on (budget 256 MiB)" or "off".
+[[nodiscard]] std::string trace_cache_mode_string();
+
+/// Stats rendered as "trace_cache.*" meta entries for ResultStore. Only
+/// attached when explicitly requested (SMT_TRACE_CACHE_STATS=1): stats
+/// depend on scheduling, so unconditional emission would break the
+/// byte-identity contract between cached and uncached snapshots.
+[[nodiscard]] std::map<std::string, std::string> trace_cache_meta(
+    const TraceCacheStats& s);
+
+}  // namespace dwarn

@@ -24,12 +24,16 @@
 #include "trace/address_stream.hpp"
 #include "trace/benchmark_profile.hpp"
 #include "trace/code_layout.hpp"
+#include "trace/inst_stream.hpp"
 #include "trace/instruction.hpp"
 
 namespace dwarn {
 
 /// Infinite per-thread instruction stream with a commit-bounded window.
-class TraceStream {
+/// Copy construction snapshots the full generation state — MaterializedTrace
+/// keeps such a snapshot as its extension tail so a ReplayStream that runs
+/// past the buffer continues the sequence bit-exactly.
+class TraceStream : public InstStream {
  public:
   /// `seed` individualizes replicated instances of the same benchmark
   /// (the paper shifts the second instance by 1M instructions; we give it
@@ -38,16 +42,16 @@ class TraceStream {
 
   /// Instruction at sequence number `seq` (0-based). Generates forward as
   /// needed; `seq` must be >= the lowest retained (uncommitted) sequence.
-  const TraceInst& at(InstSeq seq);
+  const TraceInst& at(InstSeq seq) override;
 
   /// Release buffered instructions with sequence < `seq` (commit point).
-  void retire_below(InstSeq seq);
+  void retire_below(InstSeq seq) override;
 
   /// Lowest retained sequence number (test hook).
-  [[nodiscard]] InstSeq window_base() const { return base_seq_; }
+  [[nodiscard]] InstSeq window_base() const override { return base_seq_; }
 
   /// Number of buffered instructions (test hook; bounded by in-flight).
-  [[nodiscard]] std::size_t window_size() const { return window_.size(); }
+  [[nodiscard]] std::size_t window_size() const override { return window_.size(); }
 
   /// Current call depth (test hook).
   [[nodiscard]] std::size_t call_depth() const { return shadow_stack_.size(); }
@@ -56,7 +60,7 @@ class TraceStream {
   [[nodiscard]] std::size_t loop_depth() const { return loop_stack_.size(); }
 
   [[nodiscard]] const BenchmarkProfile& profile() const { return prof_; }
-  [[nodiscard]] const CodeLayout& layout() const { return layout_; }
+  [[nodiscard]] const CodeLayout& layout() const override { return layout_; }
 
   /// Maximum call depth tracked by the shadow stack.
   static constexpr std::size_t kMaxCallDepth = 16;

@@ -1,0 +1,326 @@
+// Warm trace cache tests: materialization fidelity, replay rewind/overflow
+// semantics, LRU eviction + stats, concurrent single-build, and the
+// engine-level byte-identity contract between SMT_TRACE_CACHE=1 and =0
+// (workers {1,4}, sharded and unsharded).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "engine/experiment_engine.hpp"
+#include "engine/grid_registry.hpp"
+#include "engine/result_store.hpp"
+#include "engine/shard.hpp"
+#include "trace/trace_cache.hpp"
+#include "trace/trace_stream.hpp"
+
+namespace dwarn {
+namespace {
+
+/// Scoped environment override, restored on destruction (tests in this
+/// binary run sequentially, so no races).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (saved_) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+void expect_inst_eq(const TraceInst& a, const TraceInst& b, InstSeq seq) {
+  EXPECT_EQ(a.pc, b.pc) << "seq " << seq;
+  EXPECT_EQ(a.next_pc, b.next_pc) << "seq " << seq;
+  EXPECT_EQ(a.mem_addr, b.mem_addr) << "seq " << seq;
+  EXPECT_EQ(a.cls, b.cls) << "seq " << seq;
+  EXPECT_EQ(a.branch, b.branch) << "seq " << seq;
+  EXPECT_EQ(a.taken, b.taken) << "seq " << seq;
+  EXPECT_EQ(a.dest_reg, b.dest_reg) << "seq " << seq;
+  EXPECT_EQ(a.dest_class, b.dest_class) << "seq " << seq;
+  EXPECT_EQ(a.src_regs, b.src_regs) << "seq " << seq;
+  EXPECT_EQ(a.src_class, b.src_class) << "seq " << seq;
+  EXPECT_EQ(a.exec_latency, b.exec_latency) << "seq " << seq;
+}
+
+// ---- materialization fidelity ----------------------------------------------
+
+TEST(MaterializedTrace, RecordsTheGeneratedSequenceVerbatim) {
+  const auto& prof = profile_of(Benchmark::twolf);
+  constexpr std::uint64_t kN = 4000;
+  MaterializedTrace mt(prof, /*tid=*/1, /*seed=*/7, kN);
+  ASSERT_EQ(mt.size(), kN);
+
+  TraceStream ref(prof, 1, 7);
+  for (InstSeq i = 0; i < kN; ++i) {
+    expect_inst_eq(mt[i], ref.at(i), i);
+    ref.retire_below(i + 1);
+  }
+  EXPECT_EQ(mt.layout().text_base(), ref.layout().text_base());
+  EXPECT_GT(mt.bytes(), kN * sizeof(TraceInst));
+}
+
+TEST(ReplayStream, MatchesGenerationAcrossRewindRetireAndOverflow) {
+  // Drive a generating stream and a replayer (buffer deliberately shorter
+  // than the walk) through the access pattern a core produces: advance,
+  // squash back, re-read, retire — then run past the buffer so the
+  // continuation generator takes over mid-walk.
+  const auto& prof = profile_of(Benchmark::mcf);
+  constexpr std::uint64_t kMaterialized = 1500;
+  constexpr std::uint64_t kWalk = 3000;
+  TraceStream ref(prof, 0, 3);
+  ReplayStream rep(std::make_shared<const MaterializedTrace>(prof, 0, 3, kMaterialized));
+
+  InstSeq retired = 0;
+  for (InstSeq i = 0; i < kWalk; ++i) {
+    expect_inst_eq(rep.at(i), ref.at(i), i);
+    if (i % 97 == 3 && i > retired + 8) {
+      // Squash: re-read a window of older (unretired) sequences.
+      for (InstSeq j = i - 8; j <= i; ++j) expect_inst_eq(rep.at(j), ref.at(j), j);
+    }
+    if (i % 61 == 0 && i > 16) {
+      retired = i - 16;
+      ref.retire_below(retired);
+      rep.retire_below(retired);
+      EXPECT_EQ(rep.window_base(), ref.window_base());
+    }
+  }
+  EXPECT_TRUE(rep.overflowed());
+}
+
+TEST(ReplayStream, ExactBufferWalkNeverOverflows) {
+  const auto& prof = profile_of(Benchmark::gzip);
+  constexpr std::uint64_t kN = 2000;
+  ReplayStream rep(std::make_shared<const MaterializedTrace>(prof, 2, 11, kN));
+  for (InstSeq i = 0; i < kN; ++i) {
+    (void)rep.at(i);
+    rep.retire_below(i + 1);
+  }
+  EXPECT_FALSE(rep.overflowed());
+  EXPECT_EQ(rep.window_base(), kN);
+}
+
+// ---- cache behavior ---------------------------------------------------------
+
+TEST(TraceCache, HitsMissesAndGrows) {
+  TraceCache cache(/*budget_bytes=*/64u << 20);
+  const auto& prof = profile_of(Benchmark::vpr);
+
+  const auto a = cache.acquire(prof, 0, 1, 500);
+  EXPECT_EQ(a->size(), 500u);
+  const auto b = cache.acquire(prof, 0, 1, 400);  // shorter demand: same buffer
+  EXPECT_EQ(a.get(), b.get());
+  const auto c = cache.acquire(prof, 0, 1, 900);  // longer demand: extended
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(c->size(), 900u);
+  // The old buffer stays valid for holders, and the extension (which
+  // continues from the retained tail state rather than regenerating) is
+  // bit-identical to a from-scratch materialization of the same length.
+  for (InstSeq i = 0; i < a->size(); i += 37) expect_inst_eq((*a)[i], (*c)[i], i);
+  const MaterializedTrace scratch(prof, 0, 1, 900);
+  for (InstSeq i = 0; i < scratch.size(); ++i) expect_inst_eq(scratch[i], (*c)[i], i);
+
+  const TraceCacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.grows, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, c->bytes());
+}
+
+TEST(TraceCache, LruEvictionRespectsBudgetAndRecency) {
+  const auto& prof = profile_of(Benchmark::parser);
+  // Learn the per-entry footprint, then budget for exactly two entries.
+  const std::size_t entry_bytes = MaterializedTrace(prof, 0, 1, 1000).bytes();
+  TraceCache cache(2 * entry_bytes + entry_bytes / 2);
+
+  (void)cache.acquire(prof, 0, 1, 1000);  // A
+  (void)cache.acquire(prof, 0, 2, 1000);  // B
+  EXPECT_EQ(cache.stats().entries, 2u);
+  (void)cache.acquire(prof, 0, 1, 1000);  // touch A -> B is now LRU
+  (void)cache.acquire(prof, 0, 3, 1000);  // C evicts B
+
+  TraceCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_LE(s.bytes, s.budget_bytes);
+
+  (void)cache.acquire(prof, 0, 1, 1000);  // A survived the eviction
+  EXPECT_EQ(cache.stats().hits, 2u);
+  (void)cache.acquire(prof, 0, 2, 1000);  // B was evicted: a fresh miss
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(TraceCache, OversizedEntrySurvivesAloneAndShrinkingBudgetEvicts) {
+  const auto& prof = profile_of(Benchmark::eon);
+  TraceCache cache(/*budget_bytes=*/1);  // below any entry size
+  const auto a = cache.acquire(prof, 0, 1, 2000);
+  EXPECT_EQ(cache.stats().entries, 1u);  // in active use: kept despite budget
+
+  cache.set_budget_bytes(64u << 20);
+  (void)cache.acquire(prof, 0, 2, 2000);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  cache.set_budget_bytes(1);  // shrink: everything but the MRU goes
+  EXPECT_EQ(cache.stats().entries, 1u);
+  // The evicted buffer is still usable through the held shared_ptr.
+  EXPECT_EQ(a->size(), 2000u);
+}
+
+TEST(TraceCache, ConcurrentAcquiresBuildOnce) {
+  TraceCache cache(/*budget_bytes=*/64u << 20);
+  const auto& prof = profile_of(Benchmark::gcc);
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const MaterializedTrace>> got(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] { got[t] = cache.acquire(prof, 1, 5, 3000); });
+    }
+    for (auto& th : threads) th.join();
+  }
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(got[0].get(), got[t].get());
+  const TraceCacheStats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(TraceCache, ClearResetsEntriesAndCounters) {
+  TraceCache cache(/*budget_bytes=*/64u << 20);
+  const auto& prof = profile_of(Benchmark::gap);
+  (void)cache.acquire(prof, 0, 1, 100);
+  cache.clear();
+  const TraceCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.bytes, 0u);
+  EXPECT_EQ(s.misses, 0u);
+  (void)cache.acquire(prof, 0, 1, 100);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(TraceCacheMeta, RendersEveryCounter) {
+  TraceCacheStats s;
+  s.hits = 3;
+  s.bytes = 123;
+  const auto meta = trace_cache_meta(s);
+  EXPECT_EQ(meta.at("trace_cache.hits"), "3");
+  EXPECT_EQ(meta.at("trace_cache.bytes"), "123");
+  EXPECT_EQ(meta.size(), 7u);
+}
+
+// ---- engine-level byte identity --------------------------------------------
+
+RunGrid identity_grid() {
+  RunLength len;
+  len.warmup_insts = 500;
+  len.measure_insts = 2000;
+  RunGrid grid;
+  grid.machine(machine_spec("baseline"))
+      .workload(workload_by_name("2-MIX"))
+      .workload(workload_by_name("2-MEM"))
+      .policy(PolicyKind::ICount)
+      .policy(PolicyKind::DWarn)
+      .seed_count(2)
+      .length(len);
+  return grid;
+}
+
+std::string snapshot_json(const ResultSet& rs) {
+  ResultStore store;
+  store.set_zero_wall(true);  // wall time is the one host-varying field
+  store.add_all(rs);
+  return store.to_json();
+}
+
+TEST(TraceCacheIdentity, GridSnapshotsAreByteIdenticalWithAndWithoutCache) {
+  const RunGrid grid = identity_grid();
+
+  std::string uncached;
+  {
+    ScopedEnv off("SMT_TRACE_CACHE", "0");
+    uncached = snapshot_json(ExperimentEngine().run(grid));
+  }
+
+  ScopedEnv on("SMT_TRACE_CACHE", "1");
+  TraceCache::shared().clear();
+  ThreadPool one(1);
+  ThreadPool four(4);
+  const std::string serial = snapshot_json(ExperimentEngine(one).run(grid));
+  const std::string parallel = snapshot_json(ExperimentEngine(four).run(grid));
+
+  EXPECT_EQ(uncached, serial);
+  EXPECT_EQ(uncached, parallel);
+  // Replays actually happened: the serial + parallel passes shared buffers.
+  EXPECT_GT(TraceCache::shared().stats().hits, 0u);
+}
+
+TEST(TraceCacheIdentity, ShardFragmentsAreByteIdenticalWithAndWithoutCache) {
+  const std::vector<RunSpec> specs = named_grid("fixture").expand();
+  const ShardPlan plan = ShardPlan::make(specs.size(), 2, ShardStrategy::Strided);
+
+  for (std::size_t k = 1; k <= 2; ++k) {
+    const std::vector<RunSpec> slice = slice_specs(specs, plan.indices(k));
+    std::string uncached;
+    std::string cached;
+    {
+      ScopedEnv off("SMT_TRACE_CACHE", "0");
+      uncached = snapshot_json(ExperimentEngine().run(slice));
+    }
+    {
+      ScopedEnv on("SMT_TRACE_CACHE", "1");
+      TraceCache::shared().clear();
+      cached = snapshot_json(ExperimentEngine().run(slice));
+    }
+    EXPECT_EQ(uncached, cached) << "shard " << k << "/2";
+  }
+}
+
+TEST(BatchOrder, GroupsByWorkloadAndSeedWithoutTouchingIndices) {
+  ScopedEnv on("SMT_TRACE_CACHE", "1");
+  const std::vector<RunSpec> specs = identity_grid().expand();
+  const std::vector<std::size_t> order = ExperimentEngine::batch_order(specs);
+  ASSERT_EQ(order.size(), specs.size());
+
+  // A permutation of [0, n).
+  std::vector<bool> seen(specs.size(), false);
+  for (const std::size_t i : order) {
+    ASSERT_LT(i, specs.size());
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+  // Each (workload, seed) group is contiguous in execution order.
+  std::set<std::pair<std::string, std::uint64_t>> closed;
+  std::pair<std::string, std::uint64_t> cur{"", 0};
+  for (const std::size_t i : order) {
+    const std::pair<std::string, std::uint64_t> g{specs[i].workload.name, specs[i].seed};
+    if (g != cur) {
+      EXPECT_TRUE(closed.insert(g).second) << "group reopened: " << g.first;
+      cur = g;
+    }
+  }
+
+  ScopedEnv off("SMT_TRACE_CACHE", "0");
+  const std::vector<std::size_t> identity = ExperimentEngine::batch_order(specs);
+  for (std::size_t i = 0; i < identity.size(); ++i) EXPECT_EQ(identity[i], i);
+}
+
+}  // namespace
+}  // namespace dwarn

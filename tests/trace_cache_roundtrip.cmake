@@ -1,0 +1,59 @@
+# ctest driver: the warm-trace-cache byte-identity contract, end to end at
+# the CLI.
+#
+# For the registry's "fixture" grid, `smt_shard run` must produce
+# byte-identical snapshots with SMT_TRACE_CACHE=0 (regenerate per run) and
+# SMT_TRACE_CACHE=1 (shared MaterializedTrace replay) — unsharded, across
+# worker counts {1, 4}, and through the sharded run+merge path. Invoked as
+#   cmake -DSMT_SHARD=<path-to-smt_shard> -DWORK_DIR=<scratch> -P trace_cache_roundtrip.cmake
+
+if(NOT DEFINED SMT_SHARD OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DSMT_SHARD=... -DWORK_DIR=... -P trace_cache_roundtrip.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_checked)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+endfunction()
+
+function(compare_or_die a b what)
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E compare_files "${a}" "${b}"
+                  RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR "${what}: '${b}' is NOT byte-identical to '${a}'")
+  endif()
+  message(STATUS "${what}: byte-identical")
+endfunction()
+
+# Reference: cache off, single process.
+run_checked("${CMAKE_COMMAND}" -E env SMT_TRACE_CACHE=0
+            "${SMT_SHARD}" run --bench fixture --out "${WORK_DIR}/nocache")
+set(ref "${WORK_DIR}/nocache/BENCH_fixture.json")
+
+# Cache on, unsharded, worker counts 1 and 4.
+foreach(workers 1 4)
+  run_checked("${CMAKE_COMMAND}" -E env SMT_TRACE_CACHE=1 SMT_SIM_WORKERS=${workers}
+              "${SMT_SHARD}" run --bench fixture --out "${WORK_DIR}/cache-w${workers}")
+  compare_or_die("${ref}" "${WORK_DIR}/cache-w${workers}/BENCH_fixture.json"
+                 "cache on, ${workers} worker(s), unsharded")
+endforeach()
+
+# Cache on, sharded 2 ways (both worker counts), merged.
+foreach(workers 1 4)
+  set(dir "${WORK_DIR}/cache-shard-w${workers}")
+  set(fragments "")
+  foreach(k RANGE 1 2)
+    run_checked("${CMAKE_COMMAND}" -E env SMT_TRACE_CACHE=1 SMT_SIM_WORKERS=${workers}
+                "${SMT_SHARD}" run --bench fixture --shard ${k}/2 --out "${dir}")
+    list(APPEND fragments "${dir}/BENCH_fixture.shard${k}of2.json")
+  endforeach()
+  run_checked("${SMT_SHARD}" merge ${fragments} --out "${dir}/merged.json")
+  compare_or_die("${ref}" "${dir}/merged.json"
+                 "cache on, ${workers} worker(s), 2 shards merged")
+endforeach()

@@ -31,6 +31,7 @@
 #include "engine/run_spec.hpp"
 #include "engine/shard.hpp"
 #include "sim/report.hpp"
+#include "trace/trace_cache.hpp"
 
 namespace {
 
@@ -91,7 +92,7 @@ int run_plan(const Options& opt) {
   std::cout << "grid " << opt.bench << ": " << specs.size() << " runs, fingerprint "
             << grid_fingerprint(specs) << ", " << opt.shards << " "
             << to_string(opt.strategy) << " shard" << (opt.shards == 1 ? "" : "s")
-            << "\n";
+            << "\ntrace cache: " << trace_cache_mode_string() << "\n";
   ReportTable table({"shard", "runs", "grid indices", "fragment"});
   for (std::size_t k = 1; k <= opt.shards; ++k) {
     table.add_row({std::to_string(k) + "/" + std::to_string(opt.shards),
@@ -120,6 +121,13 @@ int run_run(const Options& opt) {
   // grid's own RunLength (specs all share it) keeps pinned-length grids
   // like "fixture" honest about their windows.
   const auto meta = bench_meta(opt.bench, specs.empty() ? RunLength{} : specs.front().len);
+
+  // Announce the plan before executing: which part of the grid runs here,
+  // and whether its trace streams come from the warm cache (replay mode
+  // never changes result bytes, only wall clock, but an operator staring
+  // at a slow shard wants to know which mode they are in).
+  std::cout << "grid " << opt.bench << ": " << specs.size() << " runs, trace cache "
+            << trace_cache_mode_string() << "\n";
 
   if (opt.shard) {
     const std::string path =
