@@ -93,10 +93,7 @@ inline bool bench_zero_wall() { return env_u64("SMT_BENCH_ZERO_WALL", 0, 1).valu
 /// unconditionally would break the byte-identity contract between
 /// SMT_TRACE_CACHE=1 and =0 snapshots of the same grid.
 inline void maybe_attach_trace_cache_stats(ResultStore& store) {
-  if (env_u64("SMT_TRACE_CACHE_STATS", 0, 1).value_or(0) != 1) return;
-  for (const auto& [k, v] : trace_cache_meta(TraceCache::shared().stats())) {
-    store.set_meta(k, v);
-  }
+  for (const auto& [k, v] : trace_cache_stats_meta_if_enabled()) store.set_meta(k, v);
 }
 
 /// Snapshot every run of `rs` (counters included) to BENCH_<name>.json.

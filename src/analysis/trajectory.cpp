@@ -143,6 +143,27 @@ Snapshot load_snapshot_text(std::string_view json_text) {
   return snap;
 }
 
+namespace {
+
+/// Worker-local meta keys ("trace_cache.*"): each fragment legitimately
+/// records different values, so they are excluded from the meta-equality
+/// check and *summed* into the merged snapshot — whole-sweep totals of
+/// every worker's cache traffic.
+bool is_per_worker_meta(std::string_view key) {
+  return key.starts_with("trace_cache.");
+}
+
+std::map<std::string, std::string> shared_meta(
+    const std::map<std::string, std::string>& meta) {
+  std::map<std::string, std::string> out;
+  for (const auto& [k, v] : meta) {
+    if (!is_per_worker_meta(k)) out.emplace(k, v);
+  }
+  return out;
+}
+
+}  // namespace
+
 Snapshot merge_shards(const std::vector<Snapshot>& fragments) {
   if (fragments.empty()) throw std::runtime_error("merge_shards: no fragments given");
   for (const Snapshot& f : fragments) {
@@ -169,7 +190,7 @@ Snapshot merge_shards(const std::vector<Snapshot>& fragments) {
           "merge_shards: mismatched grid fingerprints (" + first.fingerprint + " vs " +
           h.fingerprint + "); fragments come from different grids, seeds or run windows");
     }
-    if (f.meta != fragments.front().meta) {
+    if (shared_meta(f.meta) != shared_meta(fragments.front().meta)) {
       throw std::runtime_error(
           "merge_shards: fragment meta blocks disagree; fragments were not written "
           "by the same sweep");
@@ -220,7 +241,23 @@ Snapshot merge_shards(const std::vector<Snapshot>& fragments) {
   }
 
   Snapshot merged;
-  merged.meta = fragments.front().meta;
+  merged.meta = shared_meta(fragments.front().meta);
+  // Per-worker counters sum across fragments. A key missing from some
+  // fragments contributes 0; a non-numeric value is refused — silently
+  // dropping or mangling a counter would misreport cache effectiveness.
+  std::map<std::string, std::uint64_t> totals;
+  for (const Snapshot& f : fragments) {
+    for (const auto& [k, v] : f.meta) {
+      if (!is_per_worker_meta(k)) continue;
+      const auto n = parse_decimal_size(v, std::numeric_limits<std::size_t>::max());
+      if (!n) {
+        throw std::runtime_error("merge_shards: per-worker meta '" + k + "' = '" + v +
+                                 "' is not an unsigned integer");
+      }
+      totals[k] += *n;
+    }
+  }
+  for (const auto& [k, v] : totals) merged.meta[k] = std::to_string(v);
   merged.runs.reserve(slots.size());
   for (const RunRecord* r : slots) merged.runs.push_back(*r);
   return merged;

@@ -1,8 +1,17 @@
 #include "engine/result_store.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#else
+#include <process.h>
+#define getpid _getpid
+#endif
 
 namespace dwarn {
 
@@ -127,16 +136,37 @@ std::string ResultStore::to_csv() const {
 
 namespace {
 
+// Write-to-temp + rename: a snapshot either exists complete or not at
+// all. A worker killed mid-write (orchestrator fault injection, OOM, a
+// crashed host) must never leave a truncated BENCH_*.json that a later
+// merge or diff would try to parse; the temp name carries the pid plus a
+// process-local sequence so no two writers — across processes or threads
+// (an abandoned thread-backend attempt racing its own retry) — ever
+// share a temp file.
 bool write_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    std::fprintf(stderr, "[dwarn] warning: cannot write '%s'\n", path.c_str());
-    return false;
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(static_cast<long long>(::getpid())) + "." +
+                          std::to_string(seq.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "[dwarn] warning: cannot write '%s'\n", tmp.c_str());
+      return false;
+    }
+    out << content;
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "[dwarn] warning: short write to '%s'\n", tmp.c_str());
+      return false;
+    }
   }
-  out << content;
-  out.flush();
-  if (!out) {
-    std::fprintf(stderr, "[dwarn] warning: short write to '%s'\n", path.c_str());
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::fprintf(stderr, "[dwarn] warning: cannot rename '%s' to '%s': %s\n",
+                 tmp.c_str(), path.c_str(), ec.message().c_str());
+    std::filesystem::remove(tmp, ec);
     return false;
   }
   return true;

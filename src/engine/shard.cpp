@@ -8,6 +8,7 @@
 #include "common/check.hpp"
 #include "engine/experiment_engine.hpp"
 #include "engine/result_store.hpp"
+#include "trace/trace_cache.hpp"
 
 namespace dwarn {
 
@@ -148,6 +149,31 @@ std::string shard_fragment_filename(std::string_view bench, std::size_t k,
          std::to_string(n) + ".json";
 }
 
+std::string shard_plan_json(std::string_view bench, std::string_view fingerprint,
+                            const ShardPlan& plan, std::size_t seeds) {
+  std::string out = "{\n";
+  out += "  \"grid\": \"" + json_escape(bench) + "\",\n";
+  out += "  \"grid_size\": " + std::to_string(plan.grid_size()) + ",\n";
+  out += "  \"fingerprint\": \"" + json_escape(fingerprint) + "\",\n";
+  out += "  \"count\": " + std::to_string(plan.count()) + ",\n";
+  out += "  \"strategy\": \"" + std::string(to_string(plan.strategy())) + "\",\n";
+  out += "  \"seeds\": " + std::to_string(seeds) + ",\n";
+  out += "  \"shards\": [";
+  for (std::size_t k = 1; k <= plan.count(); ++k) {
+    const std::vector<std::size_t> idx = plan.indices(k);
+    out += k == 1 ? "" : ",";
+    out += "\n    {\"index\": " + std::to_string(k) +
+           ", \"runs\": " + std::to_string(idx.size()) + ", \"fragment\": \"" +
+           shard_fragment_filename(bench, k, plan.count()) + "\",\n     \"indices\": [";
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      out += (i == 0 ? "" : ", ") + std::to_string(idx[i]);
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
 std::map<std::string, std::string> bench_meta(std::string_view bench,
                                               const RunLength& len) {
   return {
@@ -186,6 +212,10 @@ bool run_shard_to_file(const std::vector<RunSpec>& specs, const ShardSpec& shard
 
   ResultStore store;
   for (const auto& [k, v] : meta) store.set_meta(k, v);
+  // SMT_TRACE_CACHE_STATS=1: record this worker's cache traffic in the
+  // fragment; merge_shards sums the trace_cache.* keys across fragments
+  // so the merged snapshot reports whole-sweep cache effectiveness.
+  for (const auto& [k, v] : trace_cache_stats_meta_if_enabled()) store.set_meta(k, v);
   store.set_shard(header);
   store.set_zero_wall(zero_wall);
   store.add_all(rs);

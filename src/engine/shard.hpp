@@ -109,6 +109,14 @@ class ShardPlan {
 [[nodiscard]] std::string shard_fragment_filename(std::string_view bench, std::size_t k,
                                                   std::size_t n);
 
+/// Machine-readable plan (`smt_shard plan --json`): grid identity +
+/// fingerprint plus one object per shard with its run count, 0-based
+/// grid indices and fragment filename — the contract external schedulers
+/// (and smt_orchestrate --dry-run) build dispatch decisions on.
+[[nodiscard]] std::string shard_plan_json(std::string_view bench,
+                                          std::string_view fingerprint,
+                                          const ShardPlan& plan, std::size_t seeds);
+
 /// The "shard" block of a fragment file (docs/sharding.md): which slice
 /// this is, of what grid, and the 0-based global index of each run in
 /// the fragment's "runs" array (positional).

@@ -1,0 +1,107 @@
+#include "orchestrator/job_tracker.hpp"
+
+#include "common/check.hpp"
+
+namespace dwarn::orch {
+
+JobTracker::JobTracker(std::size_t num_shards, int max_retries,
+                       std::chrono::milliseconds backoff_base,
+                       std::chrono::milliseconds backoff_cap,
+                       std::chrono::milliseconds timeout)
+    : shards_(num_shards),
+      max_retries_(max_retries),
+      backoff_base_(backoff_base),
+      backoff_cap_(backoff_cap),
+      timeout_(timeout) {
+  DWARN_CHECK(max_retries >= 0);
+}
+
+ShardProgress& JobTracker::at(std::size_t shard) {
+  DWARN_CHECK(shard >= 1 && shard <= shards_.size());
+  return shards_[shard - 1];
+}
+
+const ShardProgress& JobTracker::at(std::size_t shard) const {
+  DWARN_CHECK(shard >= 1 && shard <= shards_.size());
+  return shards_[shard - 1];
+}
+
+const ShardProgress& JobTracker::progress(std::size_t shard) const { return at(shard); }
+
+std::optional<std::size_t> JobTracker::next_ready(TrackerClock::time_point now) const {
+  for (std::size_t k = 1; k <= shards_.size(); ++k) {
+    const ShardProgress& p = at(k);
+    if (p.state == ShardState::Pending && p.not_before <= now) return k;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> JobTracker::running() const {
+  std::vector<std::size_t> out;
+  for (std::size_t k = 1; k <= shards_.size(); ++k) {
+    if (at(k).state == ShardState::Running) out.push_back(k);
+  }
+  return out;
+}
+
+void JobTracker::on_dispatched(std::size_t shard, JobId job,
+                               TrackerClock::time_point now) {
+  ShardProgress& p = at(shard);
+  DWARN_CHECK(p.state == ShardState::Pending);
+  p.state = ShardState::Running;
+  p.attempts += 1;
+  p.job = job;
+  p.started = now;
+}
+
+void JobTracker::on_succeeded(std::size_t shard) {
+  ShardProgress& p = at(shard);
+  DWARN_CHECK(p.state == ShardState::Running);
+  p.state = ShardState::Done;
+  p.last_error.clear();
+}
+
+bool JobTracker::on_failed(std::size_t shard, std::string error,
+                           TrackerClock::time_point now) {
+  ShardProgress& p = at(shard);
+  DWARN_CHECK(p.state == ShardState::Running);
+  p.last_error = std::move(error);
+  if (p.attempts > max_retries_) {
+    p.state = ShardState::Abandoned;
+    return false;
+  }
+  p.state = ShardState::Pending;
+  p.not_before = now + backoff_delay(p.attempts);
+  retries_used_ += 1;
+  return true;
+}
+
+bool JobTracker::timed_out(std::size_t shard, TrackerClock::time_point now) const {
+  const ShardProgress& p = at(shard);
+  if (timeout_.count() == 0 || p.state != ShardState::Running) return false;
+  return now - p.started > timeout_;
+}
+
+std::chrono::milliseconds JobTracker::backoff_delay(int failures) const {
+  DWARN_CHECK(failures >= 1);
+  // Shift saturates long before it could overflow: cap at 2^20 doublings.
+  std::chrono::milliseconds delay = backoff_base_;
+  for (int i = 1; i < failures && i <= 20 && delay < backoff_cap_; ++i) delay *= 2;
+  return delay < backoff_cap_ ? delay : backoff_cap_;
+}
+
+bool JobTracker::work_remaining() const {
+  for (const ShardProgress& p : shards_) {
+    if (p.state == ShardState::Pending || p.state == ShardState::Running) return true;
+  }
+  return false;
+}
+
+bool JobTracker::all_done() const {
+  for (const ShardProgress& p : shards_) {
+    if (p.state != ShardState::Done) return false;
+  }
+  return true;
+}
+
+}  // namespace dwarn::orch

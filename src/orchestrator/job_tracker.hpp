@@ -1,0 +1,97 @@
+// Shard lifecycle bookkeeping for the sweep orchestrator.
+//
+// JobTracker owns the retry state machine and nothing else — no launcher,
+// no clock of its own (every query takes `now`, so tests drive it with
+// synthetic time). A shard moves Pending → Running → Done, or back to
+// Pending through a failure while retries remain; once the attempt budget
+// (1 + max_retries) is spent it parks at Abandoned and the sweep cannot
+// succeed. Failed shards re-enter the dispatch queue gated by an
+// exponential backoff (base · 2^(failures-1), capped), so a persistently
+// sick host is not hammered at poll frequency.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "orchestrator/launcher.hpp"
+
+namespace dwarn::orch {
+
+enum class ShardState : std::uint8_t { Pending, Running, Done, Abandoned };
+
+[[nodiscard]] constexpr std::string_view to_string(ShardState s) {
+  switch (s) {
+    case ShardState::Pending: return "pending";
+    case ShardState::Running: return "running";
+    case ShardState::Done: return "done";
+    default: return "abandoned";
+  }
+}
+
+using TrackerClock = std::chrono::steady_clock;
+
+/// Where one shard stands.
+struct ShardProgress {
+  ShardState state = ShardState::Pending;
+  int attempts = 0;  ///< dispatches so far (the running one included)
+  JobId job = 0;     ///< current attempt's launcher handle (valid when Running)
+  TrackerClock::time_point started{};     ///< current attempt start
+  TrackerClock::time_point not_before{};  ///< backoff gate for the next dispatch
+  std::string last_error;
+};
+
+class JobTracker {
+ public:
+  /// Tracks shards 1..num_shards. Each may be dispatched at most
+  /// 1 + max_retries times. `timeout` of zero disables timeout detection.
+  JobTracker(std::size_t num_shards, int max_retries,
+             std::chrono::milliseconds backoff_base,
+             std::chrono::milliseconds backoff_cap, std::chrono::milliseconds timeout);
+
+  /// Lowest-numbered Pending shard whose backoff gate has passed.
+  [[nodiscard]] std::optional<std::size_t> next_ready(TrackerClock::time_point now) const;
+
+  /// 1-based numbers of the currently Running shards, ascending.
+  [[nodiscard]] std::vector<std::size_t> running() const;
+
+  void on_dispatched(std::size_t shard, JobId job, TrackerClock::time_point now);
+  void on_succeeded(std::size_t shard);
+
+  /// Record a failed attempt. Returns true when the shard goes back to
+  /// Pending for a retry (backoff gate set from `now`), false when its
+  /// attempt budget is exhausted and it is Abandoned.
+  bool on_failed(std::size_t shard, std::string error, TrackerClock::time_point now);
+
+  /// Whether the Running shard's current attempt has exceeded the timeout.
+  [[nodiscard]] bool timed_out(std::size_t shard, TrackerClock::time_point now) const;
+
+  /// base · 2^(failures-1), capped — the delay inserted after the
+  /// `failures`-th consecutive failure of a shard.
+  [[nodiscard]] std::chrono::milliseconds backoff_delay(int failures) const;
+
+  [[nodiscard]] const ShardProgress& progress(std::size_t shard) const;
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+
+  /// True while any shard is Pending or Running.
+  [[nodiscard]] bool work_remaining() const;
+  /// True when every shard is Done.
+  [[nodiscard]] bool all_done() const;
+  /// Total failed attempts that were given another try.
+  [[nodiscard]] std::size_t retries_used() const { return retries_used_; }
+
+ private:
+  [[nodiscard]] ShardProgress& at(std::size_t shard);
+  [[nodiscard]] const ShardProgress& at(std::size_t shard) const;
+
+  std::vector<ShardProgress> shards_;
+  int max_retries_;
+  std::chrono::milliseconds backoff_base_;
+  std::chrono::milliseconds backoff_cap_;
+  std::chrono::milliseconds timeout_;
+  std::size_t retries_used_ = 0;
+};
+
+}  // namespace dwarn::orch

@@ -1,0 +1,120 @@
+// Pluggable work-unit launchers for the sweep orchestrator.
+//
+// A Launcher is the one mechanism-specific piece of the orchestrator:
+// start a WorkUnit, poll it, kill it. The Scheduler never learns what a
+// job *is* — a forked process, a thread, eventually an SSH session or a
+// CI-matrix leg — it only sees opaque JobIds and their status. Two
+// backends ship today:
+//
+//   SubprocessLauncher  fork + execve of `smt_shard run --shard K/N`
+//                       with the unit's env overrides applied on top of
+//                       the inherited environment. The production local
+//                       backend: workers are isolated processes, so a
+//                       crash (or an injected SIGKILL) loses one shard
+//                       attempt, never the sweep.
+//   InProcessLauncher   one std::thread per unit running the shard on
+//                       this process's ExperimentEngine. For tests and
+//                       for platforms without fork/exec; ignores the
+//                       unit's env overrides (process-global environment
+//                       cannot be mutated per worker) and cannot preempt
+//                       a running simulation — kill() only marks the job
+//                       abandoned.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "orchestrator/work_unit.hpp"
+
+namespace dwarn::orch {
+
+using JobId = std::uint64_t;
+
+/// What a poll sees: still running, or finished with an outcome.
+struct JobStatus {
+  enum class State : std::uint8_t { Running, Succeeded, Failed };
+  State state = State::Running;
+  std::string detail;  ///< failure reason ("exit code 1", "killed by signal 9")
+};
+
+class Launcher {
+ public:
+  virtual ~Launcher() = default;
+
+  /// Begin executing `unit`. nullopt when the job cannot even be started
+  /// (spawn failure) — the scheduler treats that like a failed attempt.
+  [[nodiscard]] virtual std::optional<JobId> start(const WorkUnit& unit) = 0;
+
+  /// Non-blocking status check. Polling an unknown id returns Failed.
+  [[nodiscard]] virtual JobStatus poll(JobId id) = 0;
+
+  /// Best-effort termination (timeouts, sweep abort). Subprocesses are
+  /// SIGKILLed and reaped; threads are only marked abandoned.
+  virtual void kill(JobId id) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+/// Local subprocess pool backend: re-execs `smt_shard run` per unit.
+class SubprocessLauncher final : public Launcher {
+ public:
+  /// `smt_shard_binary` must be an executable path (not PATH-searched).
+  /// `fault_delay_ms` delays the injected SIGKILL of a faulted unit so
+  /// the worker is observably mid-run when it dies (SMT_ORCH_FAULT_DELAY_MS).
+  explicit SubprocessLauncher(std::string smt_shard_binary,
+                              std::size_t fault_delay_ms = 0);
+  ~SubprocessLauncher() override;  ///< kills and reaps any still-running jobs
+
+  [[nodiscard]] std::optional<JobId> start(const WorkUnit& unit) override;
+  [[nodiscard]] JobStatus poll(JobId id) override;
+  void kill(JobId id) override;
+  [[nodiscard]] std::string_view name() const override { return "subprocess"; }
+
+  /// Whether this platform can fork/exec at all (false → the CLI falls
+  /// back to the thread backend with a warning).
+  [[nodiscard]] static bool supported();
+
+ private:
+  struct Job {
+    std::int64_t pid = -1;
+    std::optional<JobStatus> done;  ///< set once reaped
+  };
+
+  std::string binary_;
+  std::size_t fault_delay_ms_;
+  std::map<JobId, Job> jobs_;
+  JobId next_id_ = 1;
+};
+
+/// Thread-backed backend: runs units on this process's engine (no fork).
+class InProcessLauncher final : public Launcher {
+ public:
+  ~InProcessLauncher() override;  ///< joins every worker thread
+
+  [[nodiscard]] std::optional<JobId> start(const WorkUnit& unit) override;
+  [[nodiscard]] JobStatus poll(JobId id) override;
+  void kill(JobId id) override;
+  [[nodiscard]] std::string_view name() const override { return "thread"; }
+
+ private:
+  struct Job {
+    std::thread worker;
+    /// 0 = running, 1 = succeeded, 2 = failed. `detail` is written by the
+    /// worker before the release store, read after the acquire load.
+    std::atomic<int> state{0};
+    std::string detail;
+  };
+
+  std::mutex mu_;
+  std::map<JobId, std::unique_ptr<Job>> jobs_;
+  JobId next_id_ = 1;
+};
+
+}  // namespace dwarn::orch

@@ -1,0 +1,48 @@
+#include "orchestrator/merge_stage.hpp"
+
+#include <vector>
+
+#include "analysis/trajectory.hpp"
+#include "engine/result_store.hpp"
+
+namespace dwarn::orch {
+
+MergeOutcome merge_sweep(const DispatchPlan& plan) {
+  MergeOutcome out;
+  out.merged_path = plan.merged_path();
+  try {
+    std::vector<analysis::Snapshot> fragments;
+    fragments.reserve(plan.units.size());
+    for (const WorkUnit& unit : plan.units) {
+      analysis::Snapshot frag = analysis::load_snapshot(unit.fragment_path());
+      if (!frag.shard) {
+        out.error = unit.fragment_path() + ": not a shard fragment";
+        return out;
+      }
+      if (frag.shard->fingerprint != plan.fingerprint) {
+        // merge_shards only checks fragments against each other; the plan
+        // fingerprint catches a *consistently* stale set (every worker ran
+        // an older grid or different windows than this orchestrator).
+        out.error = unit.fragment_path() + ": grid fingerprint " +
+                    frag.shard->fingerprint + " does not match the plan's " +
+                    plan.fingerprint +
+                    " (worker ran a different grid, seed count or run windows)";
+        return out;
+      }
+      fragments.push_back(std::move(frag));
+    }
+    const analysis::Snapshot merged = analysis::merge_shards(fragments);
+    if (!analysis::to_result_store(merged).write_json(out.merged_path)) {
+      out.error = "cannot write " + out.merged_path;
+      return out;
+    }
+    out.ok = true;
+    out.fragments = fragments.size();
+    out.runs = merged.runs.size();
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+}  // namespace dwarn::orch

@@ -1,0 +1,33 @@
+// The orchestrator's merge-and-validate stage.
+//
+// After the Scheduler reports every shard Done, MergeStage turns the
+// fragment files into the canonical BENCH_<bench>.json. It loads exactly
+// the fragment paths the DispatchPlan names (never a directory glob, so
+// stale fragments from an older shard count cannot sneak in), checks each
+// fragment's recorded grid fingerprint against the plan's own expansion
+// — catching a worker that ran with a divergent environment even when
+// the fragments agree among themselves — and then defers to
+// analysis::merge_shards for the full partition validation. Any
+// violation is a hard failure: the orchestrator never writes a merged
+// snapshot it cannot vouch for.
+#pragma once
+
+#include <string>
+
+#include "orchestrator/work_unit.hpp"
+
+namespace dwarn::orch {
+
+struct MergeOutcome {
+  bool ok = false;
+  std::string merged_path;   ///< written file (when ok)
+  std::size_t fragments = 0; ///< fragments merged
+  std::size_t runs = 0;      ///< runs in the merged snapshot
+  std::string error;         ///< validation / I/O failure detail
+};
+
+/// Merge the plan's fragments into plan.merged_path(). Never throws —
+/// every failure comes back as MergeOutcome{ok=false, error}.
+[[nodiscard]] MergeOutcome merge_sweep(const DispatchPlan& plan);
+
+}  // namespace dwarn::orch

@@ -1,0 +1,137 @@
+#include "orchestrator/scheduler.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <thread>
+
+#include "common/check.hpp"
+#include "common/env.hpp"
+
+namespace dwarn::orch {
+
+void SchedulerOptions::apply_env() {
+  if (const auto shard = env_u64("SMT_ORCH_FAULT_KILL", 1, kMaxShards)) {
+    fault_kill_shard = static_cast<std::size_t>(*shard);
+  }
+  if (const auto attempt = env_u64("SMT_ORCH_FAULT_ATTEMPT", 1, 1000)) {
+    fault_kill_attempt = static_cast<int>(*attempt);
+  }
+}
+
+namespace {
+
+__attribute__((format(printf, 2, 3)))
+void log_line(bool verbose, const char* fmt, ...) {
+  if (!verbose) return;
+  va_list args;
+  va_start(args, fmt);
+  std::printf("[orch] ");
+  std::vprintf(fmt, args);
+  std::printf("\n");
+  std::fflush(stdout);
+  va_end(args);
+}
+
+}  // namespace
+
+SweepOutcome Scheduler::run(const DispatchPlan& plan) {
+  DWARN_CHECK(plan.units.size() == plan.shards);
+  // The cap bounds backoff *growth*; it must never shrink the requested
+  // base itself (--backoff-ms 60000 means at least 60 s between retries).
+  JobTracker tracker(plan.shards, opt_.retries, opt_.backoff_base,
+                     std::max(opt_.backoff_cap, opt_.backoff_base), opt_.timeout);
+  bool aborted = false;
+
+  const auto fail_attempt = [&](std::size_t shard, const std::string& why,
+                                TrackerClock::time_point now) {
+    const int attempt = tracker.progress(shard).attempts;
+    if (tracker.on_failed(shard, why, now)) {
+      const auto delay = tracker.backoff_delay(attempt);
+      log_line(opt_.verbose, "shard %zu/%zu attempt %d FAILED (%s); retry in %lld ms",
+               shard, plan.shards, attempt, why.c_str(),
+               static_cast<long long>(delay.count()));
+    } else {
+      log_line(opt_.verbose,
+               "shard %zu/%zu attempt %d FAILED (%s); retries exhausted, aborting sweep",
+               shard, plan.shards, attempt, why.c_str());
+      aborted = true;
+    }
+  };
+
+  while (tracker.work_remaining() && !aborted) {
+    auto now = TrackerClock::now();
+
+    // Dispatch until the job slots are full or nothing is ready yet.
+    while (tracker.running().size() < opt_.jobs) {
+      const auto next = tracker.next_ready(now);
+      if (!next) break;
+      WorkUnit unit = plan.units[*next - 1];
+      const int attempt = tracker.progress(*next).attempts + 1;
+      unit.inject_fault = opt_.fault_kill_shard == *next &&
+                          attempt == opt_.fault_kill_attempt;
+      const std::optional<JobId> job = launcher_->start(unit);
+      if (!job) {
+        // Count a spawn failure like any failed attempt: it gets the
+        // same bounded retries + backoff instead of a tight spawn loop.
+        tracker.on_dispatched(*next, 0, now);
+        fail_attempt(*next, "spawn failure", now);
+        if (aborted) break;
+        continue;
+      }
+      tracker.on_dispatched(*next, *job, now);
+      log_line(opt_.verbose, "dispatch shard %zu/%zu attempt %d (%zu runs, %s job %llu%s)",
+               *next, plan.shards, attempt, unit.indices.size(),
+               std::string(launcher_->name()).c_str(),
+               static_cast<unsigned long long>(*job),
+               unit.inject_fault ? ", injected fault" : "");
+    }
+
+    // Poll what is in flight.
+    now = TrackerClock::now();
+    for (const std::size_t shard : tracker.running()) {
+      const ShardProgress& p = tracker.progress(shard);
+      const JobStatus status = launcher_->poll(p.job);
+      if (status.state == JobStatus::State::Running) {
+        if (tracker.timed_out(shard, now)) {
+          launcher_->kill(p.job);
+          fail_attempt(shard, "timeout", now);
+        }
+        continue;
+      }
+      if (status.state == JobStatus::State::Succeeded) {
+        const auto secs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              now - p.started).count();
+        tracker.on_succeeded(shard);
+        log_line(opt_.verbose, "shard %zu/%zu ok (attempt %d, %lld ms)", shard,
+                 plan.shards, p.attempts, static_cast<long long>(secs));
+      } else {
+        fail_attempt(shard, status.detail.empty() ? "failed" : status.detail, now);
+      }
+    }
+
+    if (tracker.work_remaining() && !aborted) {
+      std::this_thread::sleep_for(opt_.poll_interval);
+    }
+  }
+
+  // On abort, reap what is still in flight — a sweep that cannot merge
+  // must not leave workers grinding in the background.
+  for (const std::size_t shard : tracker.running()) {
+    launcher_->kill(tracker.progress(shard).job);
+    log_line(opt_.verbose, "shard %zu/%zu killed (sweep aborted)", shard, plan.shards);
+  }
+
+  SweepOutcome outcome;
+  outcome.ok = tracker.all_done();
+  outcome.retries_used = tracker.retries_used();
+  for (std::size_t k = 1; k <= plan.shards; ++k) {
+    const ShardProgress& p = tracker.progress(k);
+    outcome.shards.push_back(
+        ShardOutcome{k, p.state == ShardState::Running ? ShardState::Abandoned : p.state,
+                     p.attempts, p.last_error});
+  }
+  return outcome;
+}
+
+}  // namespace dwarn::orch

@@ -1,0 +1,81 @@
+// The sweep orchestrator's dispatch loop.
+//
+// Scheduler::run drives a DispatchPlan to completion over a Launcher: it
+// keeps up to `jobs` work units in flight, polls them (a live job is its
+// own heartbeat — a dead or hung worker surfaces as an exit status or a
+// timeout), retries failed shards with exponential backoff through the
+// JobTracker, and re-dispatches until every shard's fragment exists or a
+// shard exhausts its attempt budget. On exhaustion the sweep aborts:
+// still-running jobs are killed rather than left to burn the machine for
+// a merge that can no longer happen. The scheduler never touches result
+// bytes — workers write fragments, the MergeStage validates and merges
+// them — so a scheduling decision cannot change what a sweep produces.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "orchestrator/job_tracker.hpp"
+#include "orchestrator/launcher.hpp"
+#include "orchestrator/work_unit.hpp"
+
+namespace dwarn::orch {
+
+struct SchedulerOptions {
+  std::size_t jobs = 2;      ///< max work units in flight
+  int retries = 2;           ///< extra attempts per shard after the first
+  std::chrono::milliseconds backoff_base{200};
+  /// Growth ceiling for the exponential backoff. A base above the cap
+  /// raises the effective cap to the base — the requested delay is
+  /// always honored, only the doubling is bounded.
+  std::chrono::milliseconds backoff_cap{5000};
+  std::chrono::milliseconds timeout{0};        ///< per-attempt wall cap; 0 = none
+  std::chrono::milliseconds poll_interval{25};
+  bool verbose = true;  ///< per-event "[orch] ..." lines on stdout
+
+  /// Injected-failure hook: shard `fault_kill_shard`'s attempt number
+  /// `fault_kill_attempt` is killed mid-run (see Launcher). Used by the
+  /// CI smoke job and the ctest retry-path gate.
+  std::optional<std::size_t> fault_kill_shard;
+  int fault_kill_attempt = 1;
+
+  /// Fill the fault hook from the environment:
+  ///   SMT_ORCH_FAULT_KILL     shard number whose attempt is killed
+  ///   SMT_ORCH_FAULT_ATTEMPT  which attempt dies (default 1)
+  /// Out-of-range values warn on stderr and leave the hook unset.
+  void apply_env();
+};
+
+/// How one shard ended up.
+struct ShardOutcome {
+  std::size_t shard = 0;  ///< 1-based
+  ShardState state = ShardState::Pending;
+  int attempts = 0;
+  std::string error;  ///< last failure detail (empty when Done first try)
+};
+
+/// The whole sweep's execution summary.
+struct SweepOutcome {
+  bool ok = false;  ///< every shard Done
+  std::vector<ShardOutcome> shards;
+  std::size_t retries_used = 0;
+};
+
+class Scheduler {
+ public:
+  Scheduler(Launcher& launcher, SchedulerOptions opt)
+      : launcher_(&launcher), opt_(opt) {}
+
+  /// Execute every unit of `plan`. Blocks until the sweep succeeds or a
+  /// shard exhausts its retries.
+  [[nodiscard]] SweepOutcome run(const DispatchPlan& plan);
+
+ private:
+  Launcher* launcher_;
+  SchedulerOptions opt_;
+};
+
+}  // namespace dwarn::orch

@@ -171,4 +171,9 @@ std::map<std::string, std::string> trace_cache_meta(const TraceCacheStats& s) {
   };
 }
 
+std::map<std::string, std::string> trace_cache_stats_meta_if_enabled() {
+  if (env_u64("SMT_TRACE_CACHE_STATS", 0, 1).value_or(0) != 1) return {};
+  return trace_cache_meta(TraceCache::shared().stats());
+}
+
 }  // namespace dwarn

@@ -202,4 +202,12 @@ class TraceCache {
 [[nodiscard]] std::map<std::string, std::string> trace_cache_meta(
     const TraceCacheStats& s);
 
+/// The shared cache's stats as "trace_cache.*" meta when
+/// SMT_TRACE_CACHE_STATS=1, else empty — the one gate benches, smt_shard
+/// and the orchestrator's workers all go through, so every writer applies
+/// the same byte-identity reasoning. Sharded sweeps still merge: the
+/// merge sums trace_cache.* values across fragments instead of requiring
+/// them to agree (each worker's cache counts its own traffic).
+[[nodiscard]] std::map<std::string, std::string> trace_cache_stats_meta_if_enabled();
+
 }  // namespace dwarn

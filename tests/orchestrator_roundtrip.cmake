@@ -1,0 +1,87 @@
+# ctest driver: the orchestrator acceptance contract, end to end at the CLI.
+#
+# `smt_orchestrate run --grid fig1` over subprocess workers — with one
+# worker SIGKILLed mid-run via the SMT_ORCH_FAULT_KILL env hook — must
+# retry the killed shard and produce a merged snapshot byte-identical to
+# the single-process `smt_shard run --bench fig1`. Invoked as
+#   cmake -DSMT_ORCHESTRATE=<path> -DSMT_SHARD=<path> -DWORK_DIR=<scratch>
+#         -P orchestrator_roundtrip.cmake
+# The ctest registration pins SMT_BENCH_WINDOWS so the fig1 grid stays
+# small; both sides inherit it, so the grid fingerprints agree.
+#
+# Required: SMT_ORCHESTRATE, SMT_SHARD, WORK_DIR.
+
+if(NOT DEFINED SMT_ORCHESTRATE OR NOT DEFINED SMT_SHARD OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DSMT_ORCHESTRATE=... -DSMT_SHARD=... -DWORK_DIR=... -P orchestrator_roundtrip.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_checked out_var)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGN}\n${out}\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+# The single-process reference snapshot.
+run_checked(ref_out "${SMT_SHARD}" run --bench fig1 --out "${WORK_DIR}/single")
+
+# Dry run first: the dispatch plan must be printed (and nothing executed).
+run_checked(plan_out "${SMT_ORCHESTRATE}" run --grid fig1 --shards 3 --jobs 2
+            --out-dir "${WORK_DIR}/orch" --dry-run)
+if(NOT plan_out MATCHES "\"fingerprint\": \"[0-9a-f]+\"")
+  message(FATAL_ERROR "--dry-run did not print a plan fingerprint:\n${plan_out}")
+endif()
+if(EXISTS "${WORK_DIR}/orch/BENCH_fig1.json")
+  message(FATAL_ERROR "--dry-run must not execute the sweep")
+endif()
+
+# The orchestrated sweep: 3 shards over 2 subprocess workers, shard 2's
+# first attempt killed mid-run by the env fault hook. The sweep must
+# retry it and still converge.
+set(ENV{SMT_ORCH_FAULT_KILL} 2)
+run_checked(orch_out "${SMT_ORCHESTRATE}" run --grid fig1 --shards 3 --jobs 2
+            --retries 2 --backoff-ms 50 --out-dir "${WORK_DIR}/orch"
+            --smt-shard "${SMT_SHARD}")
+unset(ENV{SMT_ORCH_FAULT_KILL})
+
+if(NOT orch_out MATCHES "FAILED \\(killed by signal")
+  message(FATAL_ERROR "the injected worker kill did not surface:\n${orch_out}")
+endif()
+if(NOT orch_out MATCHES "retry in")
+  message(FATAL_ERROR "the killed shard was not retried:\n${orch_out}")
+endif()
+if(NOT orch_out MATCHES "1 retry ->")
+  message(FATAL_ERROR "the sweep summary does not report the retry:\n${orch_out}")
+endif()
+
+# The acceptance contract: merged == single-process, byte for byte.
+execute_process(COMMAND "${CMAKE_COMMAND}" -E compare_files
+                "${WORK_DIR}/single/BENCH_fig1.json" "${WORK_DIR}/orch/BENCH_fig1.json"
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "orchestrated merged snapshot is NOT byte-identical to the "
+                      "single-process run (${WORK_DIR}/orch/BENCH_fig1.json vs "
+                      "${WORK_DIR}/single/BENCH_fig1.json)")
+endif()
+
+# status must agree: every fragment ok, merged snapshot present, exit 0.
+run_checked(status_out "${SMT_ORCHESTRATE}" status --grid fig1 --shards 3
+            --out-dir "${WORK_DIR}/orch")
+if(NOT status_out MATCHES "3/3 fragments complete")
+  message(FATAL_ERROR "status does not report a complete sweep:\n${status_out}")
+endif()
+
+# ...and as a gate, it must exit nonzero for an incomplete sweep.
+execute_process(COMMAND "${SMT_ORCHESTRATE}" status --grid fig1 --shards 3
+                --out-dir "${WORK_DIR}/empty"
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "status exited 0 for a sweep with no fragments")
+endif()
+
+message(STATUS "orchestrated fig1 sweep (1 injected kill, retried) == single-process (bitwise)")

@@ -2,7 +2,11 @@
 # passed out of order — must succeed and reproduce the committed merged
 # snapshot byte-for-byte. Invoked as
 #   cmake -DSMT_SHARD=... -DFIXTURES=<tests/data/shards> -DWORK_DIR=<scratch>
-#         -P shard_merge_fixture.cmake
+#         [-DMERGE_DIR_MODE=1] -P shard_merge_fixture.cmake
+# With MERGE_DIR_MODE, the fragments are handed over as a bare directory
+# argument instead of a file list: merge must glob the
+# BENCH_tiny.shard*of*.json fragments itself (skipping the .badfp decoy,
+# whose suffix is not a valid fragment name) and produce the same bytes.
 
 if(NOT DEFINED SMT_SHARD OR NOT DEFINED FIXTURES OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "usage: cmake -DSMT_SHARD=... -DFIXTURES=... -DWORK_DIR=... -P shard_merge_fixture.cmake")
@@ -11,15 +15,20 @@ endif()
 file(REMOVE_RECURSE "${WORK_DIR}")
 file(MAKE_DIRECTORY "${WORK_DIR}")
 
-# Deliberately out of order: 3, 1, 2. Order must not matter.
-execute_process(COMMAND "${SMT_SHARD}" merge
-                "${FIXTURES}/BENCH_tiny.shard3of3.json"
-                "${FIXTURES}/BENCH_tiny.shard1of3.json"
-                "${FIXTURES}/BENCH_tiny.shard2of3.json"
+if(DEFINED MERGE_DIR_MODE)
+  set(merge_inputs "${FIXTURES}")
+else()
+  # Deliberately out of order: 3, 1, 2. Order must not matter.
+  set(merge_inputs
+      "${FIXTURES}/BENCH_tiny.shard3of3.json"
+      "${FIXTURES}/BENCH_tiny.shard1of3.json"
+      "${FIXTURES}/BENCH_tiny.shard2of3.json")
+endif()
+execute_process(COMMAND "${SMT_SHARD}" merge ${merge_inputs}
                 --out "${WORK_DIR}/merged.json"
                 RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
 if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "out-of-order merge failed (${rc}):\n${out}\n${err}")
+  message(FATAL_ERROR "merge failed (${rc}):\n${out}\n${err}")
 endif()
 
 execute_process(COMMAND "${CMAKE_COMMAND}" -E compare_files

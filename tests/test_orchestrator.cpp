@@ -1,0 +1,359 @@
+// Unit tests: the sweep orchestrator — dispatch planning (worker env
+// split, fragment paths, dry-run JSON), the JobTracker retry state
+// machine under synthetic time (backoff growth, timeout detection,
+// attempt budgets), the Scheduler over the thread-backed launcher
+// (happy path, injected-fault retry, retry exhaustion, timeouts via test
+// doubles), and the MergeStage's hard failures (missing fragment, plan
+// fingerprint mismatch). The orchestrated merged snapshot must be
+// byte-identical to the single-process run — the same contract test_shard
+// enforces for manual sharding, here surviving scheduling and retries.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/json.hpp"
+#include "analysis/trajectory.hpp"
+#include "engine/experiment_engine.hpp"
+#include "engine/grid_registry.hpp"
+#include "engine/result_store.hpp"
+#include "engine/shard.hpp"
+#include "orchestrator/job_tracker.hpp"
+#include "orchestrator/launcher.hpp"
+#include "orchestrator/merge_stage.hpp"
+#include "orchestrator/scheduler.hpp"
+#include "orchestrator/work_unit.hpp"
+
+namespace dwarn {
+namespace {
+
+using namespace std::chrono_literals;
+
+orch::PlanRequest fixture_request(std::size_t shards, std::size_t jobs,
+                                  const std::string& out_dir) {
+  orch::PlanRequest req;
+  req.bench = "fixture";
+  req.shards = shards;
+  req.jobs = jobs;
+  req.out_dir = out_dir;
+  return req;
+}
+
+/// Quiet scheduler options tuned for tests: tiny backoff, fast polling.
+orch::SchedulerOptions test_sched(std::size_t jobs, int retries) {
+  orch::SchedulerOptions opt;
+  opt.jobs = jobs;
+  opt.retries = retries;
+  opt.backoff_base = 1ms;
+  opt.poll_interval = 1ms;
+  opt.verbose = false;
+  return opt;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// The canonical single-process snapshot of the fixture grid, as
+/// `smt_shard run --bench fixture` would serialize it.
+std::string fixture_canonical_json() {
+  const std::vector<RunSpec> specs = named_grid("fixture").expand();
+  ResultStore store;
+  for (const auto& [k, v] : bench_meta("fixture", specs.front().len)) {
+    store.set_meta(k, v);
+  }
+  store.set_zero_wall(true);
+  store.add_all(ExperimentEngine().run(specs));
+  return store.to_json();
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name)
+      : path_((std::filesystem::temp_directory_path() / name).string()) {
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ---- dispatch planning -------------------------------------------------------
+
+TEST(DispatchPlan, UnitsCoverTheGridAndCarryWorkerEnv) {
+  const orch::DispatchPlan plan =
+      orch::make_dispatch_plan(fixture_request(3, 2, "out"));
+  EXPECT_EQ(plan.grid_size, 4u);
+  EXPECT_EQ(plan.fingerprint, grid_fingerprint(named_grid("fixture").expand()));
+  ASSERT_EQ(plan.units.size(), 3u);
+  EXPECT_EQ(plan.merged_path(), "out/BENCH_fixture.json");
+
+  std::size_t covered = 0;
+  for (std::size_t k = 1; k <= 3; ++k) {
+    const orch::WorkUnit& u = plan.units[k - 1];
+    EXPECT_EQ(u.shard, (ShardSpec{k, 3}));
+    EXPECT_EQ(u.fragment_path(), "out/" + shard_fragment_filename("fixture", k, 3));
+    EXPECT_EQ(u.env.at("SMT_BENCH_ZERO_WALL"), "1");
+    EXPECT_TRUE(u.env.contains("SMT_SIM_WORKERS"));
+    EXPECT_TRUE(u.env.contains("SMT_TRACE_CACHE_MB"));
+    covered += u.indices.size();
+  }
+  EXPECT_EQ(covered, plan.grid_size);
+}
+
+TEST(DispatchPlan, WorkerEnvSplitsThreadsAndCacheBudgetAcrossJobs) {
+  ASSERT_EQ(setenv("SMT_SIM_WORKERS", "8", 1), 0);
+  ASSERT_EQ(setenv("SMT_TRACE_CACHE_MB", "64", 1), 0);
+  const auto env = orch::worker_env(4);
+  EXPECT_EQ(env.at("SMT_SIM_WORKERS"), "2");
+  EXPECT_EQ(env.at("SMT_TRACE_CACHE_MB"), "16");
+  // More jobs than threads/budget: floors at 1, never 0.
+  const auto narrow = orch::worker_env(16);
+  EXPECT_EQ(narrow.at("SMT_SIM_WORKERS"), "1");
+  EXPECT_EQ(narrow.at("SMT_TRACE_CACHE_MB"), "4");
+  ASSERT_EQ(unsetenv("SMT_SIM_WORKERS"), 0);
+  ASSERT_EQ(unsetenv("SMT_TRACE_CACHE_MB"), 0);
+}
+
+TEST(DispatchPlan, DryRunJsonIsParseableAndComplete) {
+  const orch::DispatchPlan plan =
+      orch::make_dispatch_plan(fixture_request(2, 2, "out"));
+  const json::Value doc =
+      json::parse(orch::dispatch_plan_json(plan, "subprocess", "/x/smt_shard"));
+  EXPECT_EQ(doc.at("grid").as_string(), "fixture");
+  EXPECT_EQ(doc.at("fingerprint").as_string(), plan.fingerprint);
+  EXPECT_EQ(static_cast<std::size_t>(doc.at("shards").as_number()), 2u);
+  const auto& units = doc.at("units").as_array();
+  ASSERT_EQ(units.size(), 2u);
+  EXPECT_EQ(units[0].at("fragment").as_string(), "out/BENCH_fixture.shard1of2.json");
+  EXPECT_EQ(units[0].at("env").as_object().at("SMT_BENCH_ZERO_WALL").as_string(), "1");
+  // argv mirrors what the subprocess launcher would exec.
+  const auto& argv = units[1].at("argv").as_array();
+  ASSERT_GE(argv.size(), 6u);
+  EXPECT_EQ(argv[0].as_string(), "/x/smt_shard");
+  EXPECT_EQ(argv[1].as_string(), "run");
+  const std::vector<std::string> expect_argv =
+      orch::smt_shard_argv(plan.units[1], "/x/smt_shard");
+  ASSERT_EQ(argv.size(), expect_argv.size());
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    EXPECT_EQ(argv[i].as_string(), expect_argv[i]) << i;
+  }
+}
+
+TEST(SchedulerOptionsEnv, FaultHookParsesAndRejectsGarbage) {
+  orch::SchedulerOptions opt;
+  ASSERT_EQ(setenv("SMT_ORCH_FAULT_KILL", "3", 1), 0);
+  ASSERT_EQ(setenv("SMT_ORCH_FAULT_ATTEMPT", "2", 1), 0);
+  opt.apply_env();
+  EXPECT_EQ(opt.fault_kill_shard, 3u);
+  EXPECT_EQ(opt.fault_kill_attempt, 2);
+
+  orch::SchedulerOptions bad;
+  ASSERT_EQ(setenv("SMT_ORCH_FAULT_KILL", "zero-day", 1), 0);
+  ASSERT_EQ(unsetenv("SMT_ORCH_FAULT_ATTEMPT"), 0);
+  bad.apply_env();
+  EXPECT_FALSE(bad.fault_kill_shard.has_value());
+  EXPECT_EQ(bad.fault_kill_attempt, 1);
+  ASSERT_EQ(unsetenv("SMT_ORCH_FAULT_KILL"), 0);
+}
+
+// ---- JobTracker --------------------------------------------------------------
+
+TEST(JobTracker, BackoffDoublesFromBaseUpToCap) {
+  const orch::JobTracker t(1, 10, 100ms, 1500ms, 0ms);
+  EXPECT_EQ(t.backoff_delay(1), 100ms);
+  EXPECT_EQ(t.backoff_delay(2), 200ms);
+  EXPECT_EQ(t.backoff_delay(3), 400ms);
+  EXPECT_EQ(t.backoff_delay(4), 800ms);
+  EXPECT_EQ(t.backoff_delay(5), 1500ms);  // capped
+  EXPECT_EQ(t.backoff_delay(40), 1500ms); // deep failure counts stay capped
+}
+
+TEST(JobTracker, RetryStateMachineGatesOnBackoffAndExhaustsBudget) {
+  orch::JobTracker t(2, /*max_retries=*/1, 100ms, 1000ms, 0ms);
+  const auto t0 = orch::TrackerClock::time_point{};
+  EXPECT_EQ(t.next_ready(t0), 1u);
+
+  t.on_dispatched(1, 11, t0);
+  EXPECT_EQ(t.next_ready(t0), 2u);
+  t.on_dispatched(2, 12, t0);
+  EXPECT_FALSE(t.next_ready(t0).has_value());
+  EXPECT_EQ(t.running(), (std::vector<std::size_t>{1, 2}));
+
+  // First failure: back to Pending, but gated 100ms into the future.
+  EXPECT_TRUE(t.on_failed(1, "boom", t0));
+  EXPECT_FALSE(t.next_ready(t0 + 99ms).has_value());
+  EXPECT_EQ(t.next_ready(t0 + 100ms), 1u);
+  EXPECT_EQ(t.retries_used(), 1u);
+
+  // Second failure: budget (1 + 1 retry) spent → Abandoned.
+  t.on_dispatched(1, 13, t0 + 100ms);
+  EXPECT_FALSE(t.on_failed(1, "boom again", t0 + 100ms));
+  EXPECT_EQ(t.progress(1).state, orch::ShardState::Abandoned);
+  EXPECT_EQ(t.progress(1).attempts, 2);
+  EXPECT_EQ(t.progress(1).last_error, "boom again");
+
+  t.on_succeeded(2);
+  EXPECT_FALSE(t.work_remaining());
+  EXPECT_FALSE(t.all_done());
+}
+
+TEST(JobTracker, TimeoutDetectionRespectsDisabledAndRunningStates) {
+  orch::JobTracker t(1, 0, 1ms, 1ms, /*timeout=*/50ms);
+  const auto t0 = orch::TrackerClock::time_point{};
+  EXPECT_FALSE(t.timed_out(1, t0 + 1h));  // Pending: nothing to time out
+  t.on_dispatched(1, 1, t0);
+  EXPECT_FALSE(t.timed_out(1, t0 + 50ms));
+  EXPECT_TRUE(t.timed_out(1, t0 + 51ms));
+
+  orch::JobTracker no_timeout(1, 0, 1ms, 1ms, 0ms);
+  no_timeout.on_dispatched(1, 1, t0);
+  EXPECT_FALSE(no_timeout.timed_out(1, t0 + 24h));
+}
+
+// ---- Scheduler over the thread-backed launcher -------------------------------
+
+TEST(SchedulerThreadBackend, SweepMergesByteIdenticalToSingleProcessRun) {
+  const TempDir dir("dwarn_orch_happy");
+  const orch::DispatchPlan plan =
+      orch::make_dispatch_plan(fixture_request(3, 2, dir.path()));
+  orch::InProcessLauncher launcher;
+  const orch::SweepOutcome sweep =
+      orch::Scheduler(launcher, test_sched(2, 2)).run(plan);
+  ASSERT_TRUE(sweep.ok);
+  EXPECT_EQ(sweep.retries_used, 0u);
+
+  const orch::MergeOutcome merged = orch::merge_sweep(plan);
+  ASSERT_TRUE(merged.ok) << merged.error;
+  EXPECT_EQ(merged.fragments, 3u);
+  EXPECT_EQ(merged.runs, 4u);
+  EXPECT_EQ(read_file(merged.merged_path), fixture_canonical_json());
+}
+
+TEST(SchedulerThreadBackend, InjectedFaultIsRetriedAndStillMergesBitwise) {
+  const TempDir dir("dwarn_orch_fault");
+  const orch::DispatchPlan plan =
+      orch::make_dispatch_plan(fixture_request(3, 2, dir.path()));
+  orch::InProcessLauncher launcher;
+  orch::SchedulerOptions opt = test_sched(2, 2);
+  opt.fault_kill_shard = 2;
+  const orch::SweepOutcome sweep = orch::Scheduler(launcher, opt).run(plan);
+  ASSERT_TRUE(sweep.ok);
+  EXPECT_EQ(sweep.retries_used, 1u);
+  EXPECT_EQ(sweep.shards[1].attempts, 2);
+  EXPECT_EQ(sweep.shards[0].attempts, 1);
+
+  const orch::MergeOutcome merged = orch::merge_sweep(plan);
+  ASSERT_TRUE(merged.ok) << merged.error;
+  EXPECT_EQ(read_file(merged.merged_path), fixture_canonical_json());
+}
+
+/// Test double: every attempt of every unit fails instantly.
+class AlwaysFailLauncher final : public orch::Launcher {
+ public:
+  std::optional<orch::JobId> start(const orch::WorkUnit&) override { return next_++; }
+  orch::JobStatus poll(orch::JobId) override {
+    return {orch::JobStatus::State::Failed, "synthetic failure"};
+  }
+  void kill(orch::JobId) override {}
+  [[nodiscard]] std::string_view name() const override { return "alwaysfail"; }
+
+ private:
+  orch::JobId next_ = 1;
+};
+
+TEST(Scheduler, ExhaustedRetriesAbandonTheShardAndFailTheSweep) {
+  const TempDir dir("dwarn_orch_exhaust");
+  const orch::DispatchPlan plan =
+      orch::make_dispatch_plan(fixture_request(2, 2, dir.path()));
+  AlwaysFailLauncher launcher;
+  const orch::SweepOutcome sweep =
+      orch::Scheduler(launcher, test_sched(2, /*retries=*/1)).run(plan);
+  EXPECT_FALSE(sweep.ok);
+  bool any_abandoned = false;
+  for (const orch::ShardOutcome& s : sweep.shards) {
+    if (s.state == orch::ShardState::Abandoned) {
+      any_abandoned = true;
+      EXPECT_EQ(s.attempts, 2);  // 1 try + 1 retry
+      EXPECT_EQ(s.error, "synthetic failure");
+    }
+  }
+  EXPECT_TRUE(any_abandoned);
+}
+
+/// Test double: jobs never finish — the timeout path must reap them.
+class StuckLauncher final : public orch::Launcher {
+ public:
+  std::optional<orch::JobId> start(const orch::WorkUnit&) override { return next_++; }
+  orch::JobStatus poll(orch::JobId) override {
+    return {orch::JobStatus::State::Running, {}};
+  }
+  void kill(orch::JobId) override { ++kills_; }
+  [[nodiscard]] std::string_view name() const override { return "stuck"; }
+  [[nodiscard]] int kills() const { return kills_; }
+
+ private:
+  orch::JobId next_ = 1;
+  int kills_ = 0;
+};
+
+TEST(Scheduler, HungWorkersAreKilledOnTimeoutAndCountAsFailures) {
+  const TempDir dir("dwarn_orch_stuck");
+  const orch::DispatchPlan plan =
+      orch::make_dispatch_plan(fixture_request(1, 1, dir.path()));
+  StuckLauncher launcher;
+  orch::SchedulerOptions opt = test_sched(1, /*retries=*/1);
+  opt.timeout = 5ms;
+  const orch::SweepOutcome sweep = orch::Scheduler(launcher, opt).run(plan);
+  EXPECT_FALSE(sweep.ok);
+  EXPECT_EQ(sweep.shards[0].attempts, 2);
+  EXPECT_EQ(sweep.shards[0].error, "timeout");
+  EXPECT_GE(launcher.kills(), 2);
+}
+
+// ---- MergeStage hard failures ------------------------------------------------
+
+TEST(MergeStage, MissingFragmentFailsNamingThePath) {
+  const TempDir dir("dwarn_orch_missing");
+  const orch::DispatchPlan plan =
+      orch::make_dispatch_plan(fixture_request(2, 1, dir.path()));
+  orch::InProcessLauncher launcher;
+  orch::SchedulerOptions opt = test_sched(1, 0);
+  ASSERT_TRUE(orch::Scheduler(launcher, opt).run(plan).ok);
+  std::filesystem::remove(plan.units[1].fragment_path());
+
+  const orch::MergeOutcome merged = orch::merge_sweep(plan);
+  EXPECT_FALSE(merged.ok);
+  EXPECT_NE(merged.error.find(plan.units[1].fragment_path()), std::string::npos)
+      << merged.error;
+}
+
+TEST(MergeStage, PlanFingerprintMismatchIsRefusedEvenWhenFragmentsAgree) {
+  const TempDir dir("dwarn_orch_stalefp");
+  const orch::DispatchPlan plan =
+      orch::make_dispatch_plan(fixture_request(2, 1, dir.path()));
+  orch::InProcessLauncher launcher;
+  ASSERT_TRUE(orch::Scheduler(launcher, test_sched(1, 0)).run(plan).ok);
+
+  // A plan for the same grid but a different seed count has a different
+  // fingerprint: the on-disk fragments are mutually consistent, yet stale
+  // for *this* sweep — the merge must refuse, not resurrect old bytes.
+  orch::PlanRequest stale = fixture_request(2, 1, dir.path());
+  stale.seeds = 2;
+  const orch::MergeOutcome merged = orch::merge_sweep(orch::make_dispatch_plan(stale));
+  EXPECT_FALSE(merged.ok);
+  EXPECT_NE(merged.error.find("fingerprint"), std::string::npos) << merged.error;
+}
+
+}  // namespace
+}  // namespace dwarn

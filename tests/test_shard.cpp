@@ -360,6 +360,70 @@ TEST_F(ShardMergeTest, TrajectoryStoreMergesFragmentsTransparently) {
   std::filesystem::remove_all(dir);
 }
 
+TEST_F(ShardMergeTest, TrajectoryStoreRefusesMixedShardCountsOfOneBench) {
+  // Fragments from a 2-way and a 3-way split of the same bench in one
+  // directory (e.g. two sweeps into the same out-dir): load() must refuse
+  // — mixing splits could double-count or drop grid indices — and the
+  // error must say why.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "dwarn_shard_mixed_counts").string();
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+
+  for (std::size_t k = 1; k <= 2; ++k) {
+    const analysis::Snapshot frag =
+        fragment_of(specs_, full_, k, 2, ShardStrategy::Contiguous);
+    std::ofstream out(dir + "/" + shard_fragment_filename("fixture", k, 2),
+                      std::ios::binary);
+    out << analysis::to_result_store(frag).to_json();
+  }
+  {
+    const analysis::Snapshot frag =
+        fragment_of(specs_, full_, 1, 3, ShardStrategy::Contiguous);
+    std::ofstream out(dir + "/" + shard_fragment_filename("fixture", 1, 3),
+                      std::ios::binary);
+    out << analysis::to_result_store(frag).to_json();
+  }
+
+  const analysis::TrajectoryStore store(dir);
+  EXPECT_EQ(store.fragment_paths("fixture").size(), 3u);
+  try {
+    (void)store.load("fixture");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("shard counts"), std::string::npos) << e.what();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---- trace_cache.* meta across a merge ---------------------------------------
+
+TEST_F(ShardMergeTest, MergeSumsPerWorkerTraceCacheMetaAndKeepsSharedMetaStrict) {
+  std::vector<analysis::Snapshot> fragments;
+  for (const std::size_t k : {1u, 2u}) {
+    fragments.push_back(fragment_of(specs_, full_, k, 2, ShardStrategy::Contiguous));
+  }
+  // Each worker reports its own cache traffic; the merged snapshot must
+  // carry the whole-sweep totals, and the differing per-worker values
+  // must not trip the meta-equality check.
+  fragments[0].meta["trace_cache.hits"] = "10";
+  fragments[0].meta["trace_cache.misses"] = "4";
+  fragments[1].meta["trace_cache.hits"] = "7";
+
+  const analysis::Snapshot merged = analysis::merge_shards(fragments);
+  EXPECT_EQ(merged.meta.at("trace_cache.hits"), "17");
+  EXPECT_EQ(merged.meta.at("trace_cache.misses"), "4");  // absent counts as 0
+  EXPECT_EQ(merged.meta.at("bench"), "fixture");
+
+  // Still strict about genuinely shared meta...
+  fragments[1].meta["measure_insts"] = "999";
+  EXPECT_THROW((void)analysis::merge_shards(fragments), std::runtime_error);
+  fragments[1].meta["measure_insts"] = fragments[0].meta.at("measure_insts");
+  // ...and about counters that are not counters.
+  fragments[1].meta["trace_cache.hits"] = "not-a-number";
+  EXPECT_THROW((void)analysis::merge_shards(fragments), std::runtime_error);
+}
+
 TEST(TrajectoryStoreList, IgnoresNonFragmentShardLookalikes) {
   const std::string dir =
       (std::filesystem::temp_directory_path() / "dwarn_shard_list_test").string();

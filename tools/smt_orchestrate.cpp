@@ -1,0 +1,329 @@
+// smt_orchestrate — fault-tolerant driver for sharded experiment sweeps.
+//
+//   run     expand a registered grid into a shard DispatchPlan, execute
+//           every shard over a pool of workers (subprocess pool re-execing
+//           `smt_shard run` by default; --backend thread for an
+//           in-process pool), retry failed shards with exponential
+//           backoff, then merge the fragments into the canonical
+//           BENCH_<grid>.json — refusing any fingerprint or partition
+//           violation. --dry-run prints the dispatch plan as JSON and
+//           exits without running anything.
+//   status  inspect an out-dir against the plan: which fragments exist
+//           and validate, which are missing or stale, whether the merged
+//           snapshot is present. Exits nonzero unless the sweep is fully
+//           complete, so it doubles as a pipeline gate.
+//
+// The orchestrated result is bitwise-identical to the single-process
+// `smt_shard run --bench <grid>` of the same grid and environment — the
+// sharding contract (docs/sharding.md) survives scheduling, worker
+// crashes and retries (docs/orchestrator.md).
+//
+// Fault-injection hooks for CI and tests (also via SMT_ORCH_FAULT_KILL /
+// SMT_ORCH_FAULT_ATTEMPT): --fault-kill K kills shard K's first attempt
+// mid-run, exercising the retry path.
+//
+// Exit codes: 0 ok, 1 sweep or merge failure, 2 usage or I/O error.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/trajectory.hpp"
+#include "common/env.hpp"
+#include "engine/grid_registry.hpp"
+#include "engine/shard.hpp"
+#include "orchestrator/launcher.hpp"
+#include "orchestrator/merge_stage.hpp"
+#include "orchestrator/scheduler.hpp"
+#include "orchestrator/work_unit.hpp"
+#include "sim/report.hpp"
+#include "trace/trace_cache.hpp"
+
+namespace {
+
+using namespace dwarn;
+
+int usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "smt_orchestrate: %s\n\n", error);
+  std::string grids;
+  for (const std::string& g : registered_grids()) {
+    grids += grids.empty() ? g : "|" + g;
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  smt_orchestrate run    --grid <%s>\n"
+               "      [--shards N] [--jobs J] [--retries R] [--seeds S]\n"
+               "      [--strategy contiguous|strided] [--out-dir DIR]\n"
+               "      [--backend subprocess|thread] [--smt-shard PATH]\n"
+               "      [--timeout-sec T] [--backoff-ms B] [--dry-run]\n"
+               "      [--fault-kill K] [--fault-attempt A]\n"
+               "  smt_orchestrate status --grid <%s>\n"
+               "      [--shards N] [--seeds S] [--strategy contiguous|strided]\n"
+               "      [--out-dir DIR]\n"
+               "\n"
+               "run drives every shard of the grid to a merged, validated\n"
+               "BENCH_<grid>.json: J workers in flight, failed shards retried R\n"
+               "times with exponential backoff, fragments merged only when they\n"
+               "form a clean partition with the plan's grid fingerprint.\n"
+               "--dry-run prints the dispatch plan as JSON. status reports which\n"
+               "fragments of the plan exist, validate, or are stale; it exits 0\n"
+               "only when every fragment is ok and the merged snapshot exists.\n",
+               grids.c_str(), grids.c_str());
+  return 2;
+}
+
+struct Options {
+  std::string grid;
+  orch::PlanRequest plan;
+  orch::SchedulerOptions sched;
+  std::string backend = "subprocess";
+  std::string smt_shard;  ///< worker binary; "" = next to this binary
+  bool dry_run = false;
+};
+
+/// The smt_shard binary next to this executable — the layout every CMake
+/// build produces. /proc/self/exe beats argv[0] (which may be bare).
+std::string default_smt_shard_path(const char* argv0) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path self = fs::read_symlink("/proc/self/exe", ec);
+  if (ec) self = fs::path(argv0 == nullptr ? "" : argv0);
+  fs::path candidate = self.parent_path() / "smt_shard";
+  return candidate.string();
+}
+
+int run_sweep(const Options& opt, const char* argv0) {
+  const orch::DispatchPlan plan = orch::make_dispatch_plan(opt.plan);
+
+  std::string smt_shard = opt.smt_shard;
+  if (smt_shard.empty()) smt_shard = default_smt_shard_path(argv0);
+
+  if (opt.dry_run) {
+    std::cout << orch::dispatch_plan_json(
+        plan, opt.backend, opt.backend == "subprocess" ? smt_shard : "");
+    return 0;
+  }
+
+  if (!plan.out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(plan.out_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "smt_orchestrate: cannot create '%s': %s\n",
+                   plan.out_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
+
+  std::unique_ptr<orch::Launcher> launcher;
+  if (opt.backend == "subprocess") {
+    if (!orch::SubprocessLauncher::supported()) {
+      std::fprintf(stderr,
+                   "smt_orchestrate: no fork/exec on this platform; "
+                   "falling back to --backend thread\n");
+      launcher = std::make_unique<orch::InProcessLauncher>();
+    } else {
+      std::error_code ec;
+      if (!std::filesystem::exists(smt_shard, ec)) {
+        std::fprintf(stderr,
+                     "smt_orchestrate: worker binary '%s' not found "
+                     "(build smt_shard or pass --smt-shard)\n",
+                     smt_shard.c_str());
+        return 2;
+      }
+      const std::size_t fault_delay =
+          env_u64("SMT_ORCH_FAULT_DELAY_MS", 0, 60'000).value_or(0);
+      launcher = std::make_unique<orch::SubprocessLauncher>(smt_shard, fault_delay);
+    }
+  } else {
+    launcher = std::make_unique<orch::InProcessLauncher>();
+  }
+
+  std::cout << "grid " << plan.bench << ": " << plan.grid_size << " runs, fingerprint "
+            << plan.fingerprint << ", " << plan.shards << " shard"
+            << (plan.shards == 1 ? "" : "s") << " over " << plan.jobs << " "
+            << launcher->name() << " worker" << (plan.jobs == 1 ? "" : "s")
+            << ", trace cache " << trace_cache_mode_string() << "\n";
+
+  const orch::SweepOutcome sweep = orch::Scheduler(*launcher, opt.sched).run(plan);
+  if (!sweep.ok) {
+    for (const orch::ShardOutcome& s : sweep.shards) {
+      if (s.state != orch::ShardState::Done) {
+        std::fprintf(stderr, "smt_orchestrate: shard %zu/%zu %s after %d attempt%s%s%s\n",
+                     s.shard, plan.shards, std::string(to_string(s.state)).c_str(),
+                     s.attempts, s.attempts == 1 ? "" : "s",
+                     s.error.empty() ? "" : ": ", s.error.c_str());
+      }
+    }
+    return 1;
+  }
+
+  const orch::MergeOutcome merged = orch::merge_sweep(plan);
+  if (!merged.ok) {
+    std::fprintf(stderr, "smt_orchestrate: merge failed: %s\n", merged.error.c_str());
+    return 1;
+  }
+  std::cout << "[" << merged.fragments << " fragments, " << merged.runs << " runs, "
+            << sweep.retries_used << " retr" << (sweep.retries_used == 1 ? "y" : "ies")
+            << " -> " << merged.merged_path << "]\n";
+  return 0;
+}
+
+int run_status(const Options& opt) {
+  const orch::DispatchPlan plan = orch::make_dispatch_plan(opt.plan);
+  ReportTable table({"shard", "fragment", "state"});
+  std::size_t complete = 0;
+  for (const orch::WorkUnit& unit : plan.units) {
+    const std::string path = unit.fragment_path();
+    std::string state;
+    if (!std::filesystem::exists(path)) {
+      state = "missing";
+    } else {
+      try {
+        const analysis::Snapshot frag = analysis::load_snapshot(path);
+        if (!frag.shard) {
+          state = "stale: not a fragment";
+        } else if (frag.shard->fingerprint != plan.fingerprint) {
+          state = "stale: fingerprint " + frag.shard->fingerprint;
+        } else if (frag.shard->indices != unit.indices) {
+          // The fingerprint is strategy-independent, so a sweep run with
+          // the other --strategy (or another shard count) can match it
+          // while covering different grid indices than this plan expects.
+          // (The loader already guarantees indices and runs agree in size.)
+          state = "stale: different grid indices (strategy/shard mismatch?)";
+        } else {
+          state = "ok (" + std::to_string(frag.runs.size()) + " runs)";
+          ++complete;
+        }
+      } catch (const std::exception&) {
+        state = "stale: unreadable";
+      }
+    }
+    table.add_row({std::to_string(unit.shard.index) + "/" + std::to_string(plan.shards),
+                   path, state});
+  }
+  const bool merged_present = std::filesystem::exists(plan.merged_path());
+  std::cout << "grid " << plan.bench << ": " << plan.grid_size << " runs, fingerprint "
+            << plan.fingerprint << "\n";
+  table.print(std::cout);
+  std::cout << complete << "/" << plan.shards << " fragments complete; merged snapshot "
+            << plan.merged_path() << " " << (merged_present ? "present" : "absent")
+            << "\n";
+  // Usable as a gate: nonzero unless the sweep is fully done, so a
+  // missing fragment or absent merge fails a pipeline step instead of
+  // only coloring a table a human may never read.
+  return complete == plan.shards && merged_present ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  const std::string& cmd = args[0];
+  if (cmd != "run" && cmd != "status") {
+    return usage(("unknown command '" + cmd + "'").c_str());
+  }
+
+  Options opt;
+  opt.sched.apply_env();
+  try {
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      const auto value = [&]() -> const std::string* {
+        return i + 1 < args.size() ? &args[++i] : nullptr;
+      };
+      const auto size_value = [&](const char* flag, std::size_t min, std::size_t max)
+          -> std::optional<std::size_t> {
+        const auto* v = value();
+        const auto n = v ? parse_decimal_size(*v, max) : std::nullopt;
+        if (!n || *n < min) {
+          std::fprintf(stderr, "smt_orchestrate: %s must be an integer in [%zu, %zu]\n",
+                       flag, min, max);
+          return std::nullopt;
+        }
+        return n;
+      };
+      if (a == "--grid" || a == "--bench") {
+        const auto* v = value();
+        if (v == nullptr) return usage("--grid needs a value");
+        opt.grid = *v;
+      } else if (a == "--shards") {
+        const auto n = size_value("--shards", 1, kMaxShards);
+        if (!n) return 2;
+        opt.plan.shards = *n;
+      } else if (a == "--jobs" && cmd == "run") {
+        const auto n = size_value("--jobs", 1, 4096);
+        if (!n) return 2;
+        opt.plan.jobs = *n;
+        opt.sched.jobs = *n;
+      } else if (a == "--retries" && cmd == "run") {
+        const auto n = size_value("--retries", 0, 100);
+        if (!n) return 2;
+        opt.sched.retries = static_cast<int>(*n);
+      } else if (a == "--seeds") {
+        const auto n = size_value("--seeds", 1, 64);
+        if (!n) return 2;
+        opt.plan.seeds = *n;
+      } else if (a == "--strategy") {
+        const auto* v = value();
+        const auto s = v ? shard_strategy_from_name(*v) : std::nullopt;
+        if (!s) return usage("--strategy must be contiguous or strided");
+        opt.plan.strategy = *s;
+      } else if (a == "--out-dir") {
+        const auto* v = value();
+        if (v == nullptr) return usage("--out-dir needs a value");
+        opt.plan.out_dir = *v;
+      } else if (a == "--backend" && cmd == "run") {
+        const auto* v = value();
+        if (v == nullptr || (*v != "subprocess" && *v != "thread")) {
+          return usage("--backend must be subprocess or thread");
+        }
+        opt.backend = *v;
+      } else if (a == "--smt-shard" && cmd == "run") {
+        const auto* v = value();
+        if (v == nullptr) return usage("--smt-shard needs a path");
+        opt.smt_shard = *v;
+      } else if (a == "--timeout-sec" && cmd == "run") {
+        const auto n = size_value("--timeout-sec", 0, 86'400);
+        if (!n) return 2;
+        opt.sched.timeout = std::chrono::seconds(*n);
+      } else if (a == "--backoff-ms" && cmd == "run") {
+        const auto n = size_value("--backoff-ms", 0, 600'000);
+        if (!n) return 2;
+        opt.sched.backoff_base = std::chrono::milliseconds(*n);
+      } else if (a == "--dry-run" && cmd == "run") {
+        opt.dry_run = true;
+      } else if (a == "--fault-kill" && cmd == "run") {
+        const auto n = size_value("--fault-kill", 1, kMaxShards);
+        if (!n) return 2;
+        opt.sched.fault_kill_shard = *n;
+      } else if (a == "--fault-attempt" && cmd == "run") {
+        const auto n = size_value("--fault-attempt", 1, 1000);
+        if (!n) return 2;
+        opt.sched.fault_kill_attempt = static_cast<int>(*n);
+      } else {
+        return usage(("unknown option '" + a + "' for " + cmd).c_str());
+      }
+    }
+
+    if (opt.grid.empty()) return usage((cmd + " needs --grid").c_str());
+    if (!is_registered_grid(opt.grid)) {
+      return usage(("unknown --grid '" + opt.grid + "'").c_str());
+    }
+    opt.plan.bench = opt.grid;
+    // More job slots than shards would only shrink each worker's thread
+    // and cache-budget split for slots that can never fill.
+    if (opt.plan.shards < opt.plan.jobs) {
+      opt.plan.jobs = opt.plan.shards;
+      opt.sched.jobs = opt.plan.shards;
+    }
+    return cmd == "run" ? run_sweep(opt, argv[0]) : run_status(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "smt_orchestrate: %s\n", e.what());
+    return 2;
+  }
+}

@@ -46,14 +46,18 @@ int usage(const char* error = nullptr) {
   std::fprintf(stderr,
                "usage:\n"
                "  smt_shard plan  --bench <%s>\n"
-               "      [--shards N] [--seeds S] [--strategy contiguous|strided]\n"
+               "      [--shards N] [--seeds S] [--strategy contiguous|strided] [--json]\n"
                "  smt_shard run   --bench <%s>\n"
                "      [--shard K/N] [--seeds S] [--strategy contiguous|strided] [--out DIR]\n"
-               "  smt_shard merge <fragment.json>... [--out PATH]\n"
+               "  smt_shard merge <fragment.json|dir>... [--bench NAME] [--out PATH]\n"
                "\n"
                "run without --shard writes the canonical BENCH_<name>.json (the\n"
-               "single-process reference). merge writes BENCH_<name>.json in the\n"
-               "working directory unless --out is given; it exits 1 when fragments\n"
+               "single-process reference). plan --json prints the machine-readable\n"
+               "plan (fingerprint + per-shard indices) for external schedulers.\n"
+               "merge writes BENCH_<name>.json in the working directory unless\n"
+               "--out is given; a directory argument stands for every\n"
+               "BENCH_<name>.shard*of*.json inside it (--bench selects when several\n"
+               "benches left fragments there). merge exits 1 when fragments\n"
                "overlap, repeat, leave grid indices uncovered, or disagree on the\n"
                "grid fingerprint. wall_seconds is always serialized as 0 so a\n"
                "merged sharded run is byte-identical to the unsharded run.\n",
@@ -62,13 +66,14 @@ int usage(const char* error = nullptr) {
 }
 
 struct Options {
-  std::string bench;
+  std::string bench;                     ///< merge: optional directory filter
   std::size_t shards = 2;                ///< plan only
+  bool plan_json = false;                ///< plan only
   std::optional<ShardSpec> shard;        ///< run only
   std::size_t seeds = 1;
   ShardStrategy strategy = ShardStrategy::Contiguous;
   std::string out;
-  std::vector<std::string> fragments;    ///< merge only
+  std::vector<std::string> fragments;    ///< merge only (files or directories)
 };
 
 /// Compact "a-b, c, d-e" rendering of ascending indices.
@@ -89,6 +94,10 @@ int run_plan(const Options& opt) {
   const std::vector<RunSpec> specs =
       named_grid(opt.bench, GridOptions{.num_seeds = opt.seeds}).expand();
   const ShardPlan plan = ShardPlan::make(specs.size(), opt.shards, opt.strategy);
+  if (opt.plan_json) {
+    std::cout << shard_plan_json(opt.bench, grid_fingerprint(specs), plan, opt.seeds);
+    return 0;
+  }
   std::cout << "grid " << opt.bench << ": " << specs.size() << " runs, fingerprint "
             << grid_fingerprint(specs) << ", " << opt.shards << " "
             << to_string(opt.strategy) << " shard" << (opt.shards == 1 ? "" : "s")
@@ -142,6 +151,7 @@ int run_run(const Options& opt) {
   const ResultSet rs = ExperimentEngine().run(specs);
   ResultStore store;
   for (const auto& [k, v] : meta) store.set_meta(k, v);
+  for (const auto& [k, v] : trace_cache_stats_meta_if_enabled()) store.set_meta(k, v);
   store.set_zero_wall(true);
   store.add_all(rs);
   if (!store.write_json(path)) return 1;
@@ -149,10 +159,49 @@ int run_run(const Options& opt) {
   return 0;
 }
 
+/// Expand a directory argument into the shard-fragment files inside it.
+/// One bench's fragments only: when several benches left fragments there,
+/// --bench must pick (guessing could merge the wrong sweep).
+int expand_fragment_dir(const std::string& dir, const std::string& bench,
+                        std::vector<std::string>& paths) {
+  const analysis::TrajectoryStore store(dir);
+  std::vector<std::string> benches;
+  for (const std::string& b : store.list()) {
+    if (!bench.empty() && b != bench) continue;
+    if (!store.fragment_paths(b).empty()) benches.push_back(b);
+  }
+  if (benches.empty()) {
+    std::fprintf(stderr, "smt_shard: no %sshard fragments in '%s'\n",
+                 bench.empty() ? "" : ("BENCH_" + bench + " ").c_str(), dir.c_str());
+    return 2;
+  }
+  if (benches.size() > 1) {
+    std::string names;
+    for (const std::string& b : benches) names += (names.empty() ? "" : ", ") + b;
+    std::fprintf(stderr,
+                 "smt_shard: '%s' holds fragments of several benches (%s); "
+                 "pick one with --bench\n",
+                 dir.c_str(), names.c_str());
+    return 2;
+  }
+  for (std::string& p : store.fragment_paths(benches.front())) {
+    paths.push_back(std::move(p));
+  }
+  return 0;
+}
+
 int run_merge(const Options& opt) {
+  std::vector<std::string> paths;
+  for (const std::string& arg : opt.fragments) {
+    if (std::filesystem::is_directory(arg)) {
+      if (const int rc = expand_fragment_dir(arg, opt.bench, paths)) return rc;
+    } else {
+      paths.push_back(arg);
+    }
+  }
   std::vector<analysis::Snapshot> parts;
-  parts.reserve(opt.fragments.size());
-  for (const std::string& path : opt.fragments) {
+  parts.reserve(paths.size());
+  for (const std::string& path : paths) {
     parts.push_back(analysis::load_snapshot(path));
   }
   analysis::Snapshot merged;
@@ -204,6 +253,8 @@ int main(int argc, char** argv) {
                            .c_str());
         }
         opt.shards = *n;
+      } else if (a == "--json" && cmd == "plan") {
+        opt.plan_json = true;
       } else if (a == "--shard" && cmd == "run") {
         const auto* v = value();
         const auto s = v ? parse_shard(*v) : std::nullopt;
