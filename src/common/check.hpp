@@ -22,3 +22,16 @@ namespace dwarn::detail {
       ::dwarn::detail::check_failed(#cond, __FILE__, __LINE__);        \
     }                                                                  \
   } while (false)
+
+// DWARN_EXPENSIVE_CHECKS gates full-structure validation walks (e.g. the
+// periodic SmtCore::check_invariants() sweep inside tick()) that are far
+// from cheap relative to the model. Default: on in debug builds, off under
+// NDEBUG; override with -DDWARN_EXPENSIVE_CHECKS=0/1. Explicit entry
+// points (tests calling check_invariants() directly) work in every build.
+#ifndef DWARN_EXPENSIVE_CHECKS
+#ifdef NDEBUG
+#define DWARN_EXPENSIVE_CHECKS 0
+#else
+#define DWARN_EXPENSIVE_CHECKS 1
+#endif
+#endif

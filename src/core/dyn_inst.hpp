@@ -18,12 +18,14 @@ enum class InstState : std::uint8_t {
 };
 
 /// One in-flight instruction: the trace record plus rename/timing state.
-/// DynInsts live in the owning thread's instruction window (ROB) deque;
-/// issue queues reference them by (tid, dyn_id).
+/// DynInsts live in the owning thread's instruction window (ROB) ring;
+/// issue queues and events reference them by (tid, dyn_id) plus the ring
+/// position `wpos` for O(1) lookup.
 struct DynInst {
   TraceInst ti;
   ThreadId tid = 0;
   std::uint64_t dyn_id = 0;   ///< per-thread monotonic id (wrong path included)
+  std::uint64_t wpos = 0;     ///< stable window-ring position (set at fetch)
   InstSeq trace_seq = 0;      ///< correct-path sequence (wrong path: unused)
   bool wrong_path = false;
 

@@ -1,0 +1,102 @@
+// Flat bucket-ring event calendar.
+//
+// Replaces the core's std::map<Cycle, std::vector<EventRec>>: near-future
+// events go straight into a power-of-two array of buckets indexed by
+// `cycle & mask` (no tree rebalancing, buckets reuse their capacity), and
+// the rare far-future events (DTLB-miss fills beyond the wheel span) wait
+// in a small overflow list guarded by a cached minimum cycle.
+//
+// Firing order is bit-identical to the map calendar without any sequence
+// numbers, by construction:
+//   * a bucket drained at cycle C holds only events for C — an event for
+//     C + k*wheel_size can only be scheduled after cycle C already cleared
+//     the bucket (its schedule distance would otherwise exceed the mask
+//     and route to overflow);
+//   * every overflow entry for C was scheduled strictly earlier than every
+//     direct bucket entry for C (overflow means distance > mask, direct
+//     means distance <= mask), so draining overflow entries first, each
+//     group in insertion order, reproduces the map's per-cycle vector.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace dwarn {
+
+template <typename Ev>
+class EventWheel {
+ public:
+  /// `min_span` is the largest schedule distance the direct buckets must
+  /// cover without touching the overflow list (longest common event
+  /// latency); the bucket count is the next power of two above it.
+  explicit EventWheel(Cycle min_span) {
+    std::size_t n = 64;
+    while (n < min_span + 2) n <<= 1;
+    buckets_.resize(n);
+    mask_ = n - 1;
+  }
+
+  void schedule(Cycle now, Cycle at, const Ev& ev) {
+    DWARN_CHECK(at > now);
+    if (at - now <= mask_) {
+      buckets_[at & mask_].push_back(ev);
+    } else {
+      if (at < overflow_min_) overflow_min_ = at;
+      overflow_.push_back(Deferred{at, ev});
+    }
+  }
+
+  /// Fire every event scheduled for `now`. `fn` may schedule new events;
+  /// they always target cycles > now and therefore never land in the
+  /// bucket being drained.
+  template <typename Fn>
+  void drain(Cycle now, Fn&& fn) {
+    if (overflow_min_ <= now) {
+      pull_overflow(now);
+      for (std::size_t i = 0; i < scratch_.size(); ++i) fn(scratch_[i]);
+      scratch_.clear();
+    }
+    std::vector<Ev>& bucket = buckets_[now & mask_];
+    if (!bucket.empty()) {
+      for (std::size_t i = 0; i < bucket.size(); ++i) fn(bucket[i]);
+      bucket.clear();
+    }
+  }
+
+ private:
+  struct Deferred {
+    Cycle at;
+    Ev ev;
+  };
+
+  /// Move the overflow entries due at `now` into scratch_ (insertion
+  /// order preserved) and recompute the cached minimum.
+  void pull_overflow(Cycle now) {
+    Cycle next_min = kNoCycle;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < overflow_.size(); ++i) {
+      Deferred& d = overflow_[i];
+      if (d.at == now) {
+        scratch_.push_back(std::move(d.ev));
+      } else {
+        DWARN_CHECK(d.at > now);
+        if (d.at < next_min) next_min = d.at;
+        overflow_[kept++] = std::move(d);
+      }
+    }
+    overflow_.resize(kept);
+    overflow_min_ = next_min;
+  }
+
+  std::vector<std::vector<Ev>> buckets_;
+  std::size_t mask_ = 0;
+  std::vector<Deferred> overflow_;
+  std::vector<Ev> scratch_;
+  Cycle overflow_min_ = kNoCycle;
+};
+
+}  // namespace dwarn

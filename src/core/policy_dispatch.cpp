@@ -1,0 +1,51 @@
+#include "core/policy_dispatch.hpp"
+
+#include "common/env.hpp"
+#include "core/smt_core_tick.ipp"
+#include "policy/data_gating.hpp"
+#include "policy/dcpred.hpp"
+#include "policy/dwarn.hpp"
+#include "policy/icount.hpp"
+#include "policy/stall_flush.hpp"
+
+namespace dwarn {
+
+bool devirt_enabled() { return env_u64("SMT_DEVIRT", 0, 1).value_or(1) == 1; }
+
+void bind_policy_devirtualized(SmtCore& core, PolicyKind kind, FetchPolicy* policy) {
+  // One case per PolicyKind, mirroring make_policy: every concrete policy
+  // class is `final`, so inside the instantiated loop the compiler can
+  // resolve each callback statically. DWarn's three kinds share one class
+  // (mode is runtime state) and therefore one instantiation.
+  switch (kind) {
+    case PolicyKind::ICount:
+      core.set_policy_typed(static_cast<ICountPolicy*>(policy));
+      return;
+    case PolicyKind::RoundRobin:
+      core.set_policy_typed(static_cast<RoundRobinPolicy*>(policy));
+      return;
+    case PolicyKind::Stall:
+      core.set_policy_typed(static_cast<StallPolicy*>(policy));
+      return;
+    case PolicyKind::Flush:
+      core.set_policy_typed(static_cast<FlushPolicy*>(policy));
+      return;
+    case PolicyKind::DG:
+      core.set_policy_typed(static_cast<DataGatingPolicy*>(policy));
+      return;
+    case PolicyKind::PDG:
+      core.set_policy_typed(static_cast<PredictiveDataGatingPolicy*>(policy));
+      return;
+    case PolicyKind::DWarn:
+    case PolicyKind::DWarnBasic:
+    case PolicyKind::DWarnGateAlways:
+      core.set_policy_typed(static_cast<DWarnPolicy*>(policy));
+      return;
+    case PolicyKind::DCPred:
+      core.set_policy_typed(static_cast<DcPredPolicy*>(policy));
+      return;
+  }
+  core.set_policy(policy);  // unknown kind: virtual fallback
+}
+
+}  // namespace dwarn

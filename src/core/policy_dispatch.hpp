@@ -1,0 +1,20 @@
+// Devirtualized policy dispatch: bind a concrete FetchPolicy type to the
+// templated SmtCore tick loop (docs/core_perf.md).
+#pragma once
+
+#include "core/smt_core.hpp"
+#include "policy/factory.hpp"
+
+namespace dwarn {
+
+/// SMT_DEVIRT (default 1) selects the devirtualized tick loop; 0 forces
+/// the virtual-dispatch fallback. Read per call so tests can toggle it
+/// between Simulator constructions.
+[[nodiscard]] bool devirt_enabled();
+
+/// Install `policy` into `core` through the tick-loop instantiation for
+/// its concrete class. `kind` must be the PolicyKind `policy` was created
+/// with (make_policy); an out-of-enum kind falls back to virtual dispatch.
+void bind_policy_devirtualized(SmtCore& core, PolicyKind kind, FetchPolicy* policy);
+
+}  // namespace dwarn

@@ -1,6 +1,6 @@
 #include "core/smt_core.hpp"
 
-#include <algorithm>
+#include "core/smt_core_tick.ipp"
 
 namespace dwarn {
 
@@ -12,6 +12,12 @@ SmtCore::SmtCore(const CoreConfig& cfg, MemoryHierarchy& mem, FrontEndPredictor&
       stats_(stats),
       int_regs_(cfg.pregs_int),
       fp_regs_(cfg.pregs_fp),
+      frontend_q_(cfg.frontend_buffer * 2),
+      // Direct buckets cover every common schedule distance (the longest
+      // is a DTLB-missing load's fill); rarer, longer delays (e.g. bank
+      // queueing on top of a TLB miss) take the overflow list.
+      events_(mem.config().tlb_miss_penalty + mem.config().mem_latency +
+              mem.config().l2_latency + mem.config().l1_latency + 64),
       cycles_(stats.counter("core.cycles")),
       fetched_(stats.counter("core.fetched")),
       fetched_wrongpath_(stats.counter("core.fetched_wrongpath")),
@@ -26,9 +32,9 @@ SmtCore::SmtCore(const CoreConfig& cfg, MemoryHierarchy& mem, FrontEndPredictor&
       cloads_(stats.counter("core.cloads")),
       cload_l1_misses_(stats.counter("core.cload_l1_misses")),
       cload_l2_misses_(stats.counter("core.cload_l2_misses")),
-      occ_iq_int_(stats.histogram("core.occ.iq_int", cfg.iq_capacity[0])),
-      occ_iq_fp_(stats.histogram("core.occ.iq_fp", cfg.iq_capacity[1])),
-      occ_iq_ls_(stats.histogram("core.occ.iq_ls", cfg.iq_capacity[2])),
+      occ_iq_{&stats.histogram("core.occ.iq_int", cfg.iq_capacity[0]),
+              &stats.histogram("core.occ.iq_fp", cfg.iq_capacity[1]),
+              &stats.histogram("core.occ.iq_ls", cfg.iq_capacity[2])},
       occ_int_regs_(stats.histogram("core.occ.int_regs", cfg.pregs_int)) {
   DWARN_CHECK(cfg_.num_threads >= 1 && cfg_.num_threads <= kMaxThreads);
   DWARN_CHECK(programs.size() == cfg_.num_threads);
@@ -38,11 +44,17 @@ SmtCore::SmtCore(const CoreConfig& cfg, MemoryHierarchy& mem, FrontEndPredictor&
   DWARN_CHECK(cfg_.pregs_fp > cfg_.num_threads * kArchRegs);
 
   threads_.resize(cfg_.num_threads);
+  cands_.reserve(cfg_.num_threads);
+  fetch_order_.reserve(cfg_.num_threads);
+  for (std::size_t c = 0; c < kNumIssueClasses; ++c) {
+    iqs_[c].reserve(cfg_.iq_capacity[c]);
+  }
   for (std::size_t t = 0; t < cfg_.num_threads; ++t) {
     ThreadCtx& ctx = threads_[t];
     ctx.stream = programs[t].stream;
     ctx.wrongpath = programs[t].wrongpath;
     DWARN_CHECK(ctx.stream != nullptr && ctx.wrongpath != nullptr);
+    ctx.window = Ring<DynInst>(cfg_.rob_entries);
     ctx.fetch_pc = ctx.stream->layout().text_base();
     for (std::uint8_t r = 0; r < kArchRegs; ++r) {
       const std::uint16_t pi = int_regs_.alloc();
@@ -57,6 +69,8 @@ SmtCore::SmtCore(const CoreConfig& cfg, MemoryHierarchy& mem, FrontEndPredictor&
     committed_tid_[t] = &stats.counter("core.committed.t" + std::to_string(t));
   }
 }
+
+void SmtCore::set_policy(FetchPolicy* policy) { set_policy_typed<FetchPolicy>(policy); }
 
 unsigned SmtCore::icount(ThreadId tid) const {
   DWARN_CHECK(tid < threads_.size());
@@ -79,17 +93,19 @@ DynInst* SmtCore::find(ThreadId tid, std::uint64_t dyn_id) {
   // The window is strictly ascending in dyn_id but not contiguous: a
   // squash removes a tail while next_dyn_id keeps counting, so later
   // fetches leave a gap. Binary search instead of offset arithmetic.
-  auto& w = threads_[tid].window;
-  const auto it = std::lower_bound(
-      w.begin(), w.end(), dyn_id,
-      [](const DynInst& d, std::uint64_t v) { return d.dyn_id < v; });
-  if (it == w.end() || it->dyn_id != dyn_id) return nullptr;
-  return &*it;
-}
-
-void SmtCore::schedule(Cycle at, EventRec ev) {
-  DWARN_CHECK(at > now_);
-  events_[at].push_back(ev);
+  Ring<DynInst>& w = threads_[tid].window;
+  std::size_t lo = 0;
+  std::size_t hi = w.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (w[mid].dyn_id < dyn_id) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == w.size() || w[lo].dyn_id != dyn_id) return nullptr;
+  return &w[lo];
 }
 
 bool SmtCore::sources_ready(const DynInst& d) const {
@@ -102,67 +118,11 @@ bool SmtCore::sources_ready(const DynInst& d) const {
   return true;
 }
 
-void SmtCore::tick() {
-  DWARN_CHECK(policy_ != nullptr);
-  ++now_;
-  cycles_.add();
-  mem_.tick(now_);
-  process_events();
-  do_commit();
-  do_issue();
-  do_rename();
-  do_fetch();
-  occ_iq_int_.sample(iqs_[0].size());
-  occ_iq_fp_.sample(iqs_[1].size());
-  occ_iq_ls_.sample(iqs_[2].size());
-  occ_int_regs_.sample(int_regs_.num_allocated());
-}
-
-void SmtCore::process_events() {
-  while (!events_.empty() && events_.begin()->first <= now_) {
-    auto node = events_.extract(events_.begin());
-    for (const EventRec& ev : node.mapped()) {
-      switch (ev.kind) {
-        case EventRec::Kind::L1MissDetect:
-          policy_->on_l1_miss_detected(ev.tid, ev.dyn_id, ev.pc);
-          break;
-        case EventRec::Kind::Fill:
-          policy_->on_fill(ev.tid);
-          break;
-        case EventRec::Kind::LoadComplete:
-          policy_->on_load_complete(ev.tid, ev.dyn_id, ev.pc, ev.l1_missed,
-                                    ev.l2_missed);
-          break;
-        case EventRec::Kind::LongLatency: {
-          // Only act for loads still live on the correct path; a load
-          // squashed inside the declaration window must not gate or flush
-          // its thread.
-          DynInst* d = find(ev.tid, ev.dyn_id);
-          if (d != nullptr && !d->wrong_path) {
-            policy_->on_long_latency(ev.tid, ev.dyn_id, ev.fill_at);
-          }
-          break;
-        }
-        case EventRec::Kind::BranchResolve: {
-          DynInst* d = find(ev.tid, ev.dyn_id);
-          if (d == nullptr || d->wrong_path) break;  // squashed meanwhile
-          bpred_.note_resolved(d->mispredicted);
-          if (d->mispredicted) {
-            const Addr resume_pc = d->ti.next_pc;
-            const InstSeq resume_seq = d->trace_seq + 1;
-            squash_younger_than(ev.tid, ev.dyn_id, /*flush=*/false);
-            ThreadCtx& ctx = threads_[ev.tid];
-            ctx.in_wrong_path = false;
-            ctx.fetch_pc = resume_pc;
-            ctx.fetch_seq = resume_seq;
-            ctx.fetch_stall_until = now_ + cfg_.redirect_penalty;
-            ctx.cur_fetch_line = ~Addr{0};
-          }
-          break;
-        }
-      }
-    }
+void SmtCore::sample_occupancy() {
+  for (std::size_t c = 0; c < kNumIssueClasses; ++c) {
+    occ_iq_[c]->sample(iqs_[c].size());
   }
+  occ_int_regs_.sample(int_regs_.num_allocated());
 }
 
 void SmtCore::do_commit() {
@@ -217,8 +177,8 @@ void SmtCore::issue_one(DynInst& d) {
         regfile(d.ti.dest_class).set_ready(d.dest_phys, d.complete_at);
       }
       schedule(d.complete_at,
-               EventRec{EventRec::Kind::LoadComplete, d.tid, d.dyn_id, d.ti.pc, 0,
-                        d.l1_miss, d.l2_miss});
+               EventRec{EventRec::Kind::LoadComplete, d.tid, d.dyn_id, d.wpos, d.ti.pc,
+                        0, d.l1_miss, d.l2_miss});
       if (d.l1_miss) {
         const Cycle detect_at =
             now_ + (cfg_.l1_detect_extra > 0 ? cfg_.l1_detect_extra : 1);
@@ -228,9 +188,9 @@ void SmtCore::issue_one(DynInst& d) {
         // its L1MissDetect would underflow their Dmiss counters).
         if (detect_at < d.complete_at) {
           schedule(detect_at, EventRec{EventRec::Kind::L1MissDetect, d.tid, d.dyn_id,
-                                       d.ti.pc, 0, true});
-          schedule(d.complete_at,
-                   EventRec{EventRec::Kind::Fill, d.tid, d.dyn_id, d.ti.pc, 0, true});
+                                       d.wpos, d.ti.pc, 0, true});
+          schedule(d.complete_at, EventRec{EventRec::Kind::Fill, d.tid, d.dyn_id,
+                                           d.wpos, d.ti.pc, 0, true});
         }
       }
       // "X cycles after issue" detection moment: declared L2 miss (or a
@@ -242,11 +202,11 @@ void SmtCore::issue_one(DynInst& d) {
         const Cycle threshold = mem_.config().l2_declare_threshold;
         if (out.tlb_miss && mem_.config().tlb_miss_penalty > 0) {
           schedule(now_ + 1, EventRec{EventRec::Kind::LongLatency, d.tid, d.dyn_id,
-                                      d.ti.pc, d.complete_at, d.l1_miss});
+                                      d.wpos, d.ti.pc, d.complete_at, d.l1_miss});
         } else if (d.complete_at > now_ + threshold) {
-          schedule(now_ + threshold, EventRec{EventRec::Kind::LongLatency, d.tid,
-                                              d.dyn_id, d.ti.pc, d.complete_at,
-                                              d.l1_miss});
+          schedule(now_ + threshold,
+                   EventRec{EventRec::Kind::LongLatency, d.tid, d.dyn_id, d.wpos,
+                            d.ti.pc, d.complete_at, d.l1_miss});
         }
       }
       break;
@@ -259,7 +219,7 @@ void SmtCore::issue_one(DynInst& d) {
       d.complete_at = now_ + d.ti.exec_latency;
       if (!d.wrong_path) {
         schedule(d.complete_at, EventRec{EventRec::Kind::BranchResolve, d.tid,
-                                         d.dyn_id, d.ti.pc, 0, false});
+                                         d.dyn_id, d.wpos, d.ti.pc, 0, false});
       }
       break;
     default:
@@ -281,210 +241,33 @@ void SmtCore::do_issue() {
     auto& q = iqs_[c];
     unsigned fu = cfg_.fu_count[c];
     if (q.empty()) continue;
-    std::vector<QEntry> keep;
-    keep.reserve(q.size());
-    for (const QEntry& e : q) {
-      if (budget == 0 || fu == 0) {
-        keep.push_back(e);
-        continue;
+    // In-place compaction: issued entries drop out, waiting entries slide
+    // forward in order (same result as the old keep-vector swap, without
+    // the per-cycle allocation).
+    std::size_t kept = 0;
+    for (std::size_t r = 0; r < q.size(); ++r) {
+      const QEntry e = q[r];
+      if (budget != 0 && fu != 0) {
+        DynInst* d = find_at(e.tid, e.dyn_id, e.wpos);
+        DWARN_CHECK(d != nullptr && d->state == InstState::InQueue);
+        if (sources_ready(*d)) {
+          issue_one(*d);
+          DWARN_CHECK(threads_[e.tid].icount > 0);
+          --threads_[e.tid].icount;
+          --budget;
+          --fu;
+          continue;
+        }
       }
-      DynInst* d = find(e.tid, e.dyn_id);
-      DWARN_CHECK(d != nullptr && d->state == InstState::InQueue);
-      if (!sources_ready(*d)) {
-        keep.push_back(e);
-        continue;
-      }
-      issue_one(*d);
-      DWARN_CHECK(threads_[e.tid].icount > 0);
-      --threads_[e.tid].icount;
-      --budget;
-      --fu;
+      q[kept++] = e;
     }
-    q.swap(keep);
+    q.resize(kept);
   }
 }
 
-void SmtCore::do_rename() {
-  // Rename consumes the shared front-end queue strictly in fetch order.
-  // A head instruction that cannot rename (no register, full queue,
-  // policy resource cap) blocks every thread behind it: allocating shared
-  // resources in fetch order is what gives the fetch policy its power —
-  // and what lets one delinquent thread hurt all the others when the
-  // policy lets it through (the paper's motivating pathology).
-  unsigned budget = cfg_.rename_width;
-  while (budget > 0 && !frontend_q_.empty()) {
-    const QEntry e = frontend_q_.front();
-    DynInst* d = find(e.tid, e.dyn_id);
-    if (d == nullptr || d->state != InstState::FrontEnd) {
-      frontend_q_.pop_front();  // squashed meanwhile: stale entry, free skip
-      continue;
-    }
-    if (d->fetch_cycle + cfg_.frontend_depth > now_) break;  // still decoding
-    ThreadCtx& ctx = threads_[e.tid];
-    DWARN_CHECK(ctx.rename_idx < ctx.window.size() &&
-                &ctx.window[ctx.rename_idx] == d);
-    if (ctx.renamed_in_flight >= policy_->max_in_flight(e.tid)) break;
-    const auto qc = static_cast<std::size_t>(issue_class_of(d->ti.cls));
-    if (iqs_[qc].size() >= cfg_.iq_capacity[qc]) {
-      rename_stall_iq_.add();
-      break;
-    }
-    std::uint16_t dest = kNoReg;
-    if (d->ti.dest_class != RegClass::None) {
-      dest = regfile(d->ti.dest_class).alloc();
-      if (dest == kNoReg) {
-        rename_stall_regs_.add();
-        break;
-      }
-    }
-    if (d->ti.src_regs[0] != kNoArchReg) {
-      d->src_phys0 = ctx.rmap.get(d->ti.src_class[0], d->ti.src_regs[0]);
-    }
-    if (d->ti.src_regs[1] != kNoArchReg) {
-      d->src_phys1 = ctx.rmap.get(d->ti.src_class[1], d->ti.src_regs[1]);
-    }
-    if (dest != kNoReg) {
-      d->dest_phys = dest;
-      d->old_phys = ctx.rmap.set(d->ti.dest_class, d->ti.dest_reg, dest);
-    }
-    d->state = InstState::InQueue;
-    iqs_[qc].push_back(QEntry{e.tid, d->dyn_id});
-    ++ctx.rename_idx;
-    ++ctx.renamed_in_flight;
-    DWARN_CHECK(frontend_live_ > 0);
-    --frontend_live_;
-    frontend_q_.pop_front();
-    --budget;
-  }
-}
-
-void SmtCore::do_fetch() {
-  std::vector<ThreadId> cands;
-  cands.reserve(threads_.size());
-  if (frontend_live_ >= cfg_.frontend_buffer) return;  // shared front end full
-  for (std::size_t t = 0; t < threads_.size(); ++t) {
-    const ThreadCtx& ctx = threads_[t];
-    if (ctx.fetch_stall_until > now_) continue;
-    if (ctx.window.size() >= cfg_.rob_entries) continue;
-    cands.push_back(static_cast<ThreadId>(t));
-  }
-  if (cands.empty()) return;
-
-  fetch_order_.clear();
-  policy_->order(cands, fetch_order_);
-
-  unsigned budget = cfg_.fetch_width;
-  unsigned threads_used = 0;
-  for (const ThreadId tid : fetch_order_) {
-    if (budget == 0 || threads_used >= cfg_.fetch_threads) break;
-    ++threads_used;
-    fetch_from_thread(tid, budget);
-  }
-}
-
-void SmtCore::fetch_from_thread(ThreadId tid, unsigned& budget) {
-  ThreadCtx& ctx = threads_[tid];
-  const Addr first_line = iline_of(ctx.fetch_pc);
-  unsigned taken_this_thread = 0;
-
-  while (budget > 0 && taken_this_thread < cfg_.fetch_width) {
-    if (ctx.window.size() >= cfg_.rob_entries) break;
-    if (frontend_live_ >= cfg_.frontend_buffer) break;
-    const Addr pc = ctx.fetch_pc;
-    if (iline_of(pc) != first_line) break;  // line-boundary fragmentation
-
-    if (iline_of(pc) != ctx.cur_fetch_line) {
-      const IFetchOutcome out = mem_.ifetch(tid, pc, now_);
-      ctx.cur_fetch_line = iline_of(pc);
-      if (out.ready_at > now_) {
-        ctx.fetch_stall_until = out.ready_at;
-        icache_stall_cycles_.add(out.ready_at - now_);
-        break;
-      }
-    }
-
-    DynInst d;
-    d.tid = tid;
-    d.dyn_id = ctx.next_dyn_id++;
-    d.fetch_cycle = now_;
-    d.state = InstState::FrontEnd;
-    bool stop_after = false;
-
-    if (ctx.in_wrong_path) {
-      d.ti = ctx.wrongpath->next(pc, ctx.stream->layout());
-      d.wrong_path = true;
-      ctx.fetch_pc = d.ti.next_pc;
-    } else {
-      d.ti = ctx.stream->at(ctx.fetch_seq);
-      d.trace_seq = ctx.fetch_seq++;
-      if (d.ti.is_branch()) {
-        const Addr fall_through = ctx.stream->layout().wrap(pc + CodeLayout::kInstBytes);
-        const BranchPrediction pred =
-            bpred_.predict(tid, pc, d.ti.branch, fall_through);
-        bpred_.train(tid, pc, d.ti.branch, d.ti.taken, d.ti.next_pc);
-        d.pred_next_pc = pred.next_pc;
-        d.ras_cp = pred.ras_cp;
-        d.mispredicted = pred.next_pc != d.ti.next_pc;
-        ctx.fetch_pc = pred.next_pc;
-        if (d.mispredicted) ctx.in_wrong_path = true;
-        if (pred.taken) stop_after = true;  // fragmentation at taken branch
-      } else {
-        ctx.fetch_pc = d.ti.next_pc;
-      }
-    }
-
-    const std::uint64_t dyn_id = d.dyn_id;
-    const TraceInst ti_copy = d.ti;
-    ctx.window.push_back(std::move(d));
-    frontend_q_.push_back(QEntry{tid, dyn_id});
-    ++frontend_live_;
-    ++ctx.icount;
-    fetched_.add();
-    if (ctx.window.back().wrong_path) fetched_wrongpath_.add();
-    policy_->on_fetch(tid, dyn_id, ti_copy);
-    --budget;
-    ++taken_this_thread;
-    if (stop_after) break;
-  }
-}
-
-std::size_t SmtCore::squash_younger_than(ThreadId tid, std::uint64_t dyn_id, bool flush) {
-  ThreadCtx& ctx = threads_[tid];
-  std::size_t count = 0;
-  while (!ctx.window.empty() && ctx.window.back().dyn_id > dyn_id) {
-    DynInst& d = ctx.window.back();
-    policy_->on_inst_squashed(tid, d.dyn_id, d.ti);
-    if (d.state == InstState::FrontEnd || d.state == InstState::InQueue) {
-      DWARN_CHECK(ctx.icount > 0);
-      --ctx.icount;
-    }
-    if (d.state == InstState::FrontEnd) {
-      // Its shared-front-end entry goes stale; rename skips it for free.
-      DWARN_CHECK(frontend_live_ > 0);
-      --frontend_live_;
-    }
-    if (d.state == InstState::InQueue) {
-      remove_from_iq(tid, d.dyn_id, issue_class_of(d.ti.cls));
-    }
-    if (d.renamed()) {
-      DWARN_CHECK(ctx.renamed_in_flight > 0);
-      --ctx.renamed_in_flight;
-      if (d.ti.dest_class != RegClass::None) {
-        ctx.rmap.set(d.ti.dest_class, d.ti.dest_reg, d.old_phys);
-        regfile(d.ti.dest_class).release(d.dest_phys);
-      }
-    }
-    if (!d.wrong_path && d.ti.is_branch()) {
-      // Walking youngest-to-oldest restores the RAS to the state just
-      // before the oldest squashed branch's speculative push/pop.
-      bpred_.restore_ras(tid, d.ras_cp);
-    }
-    (flush ? squashed_flush_ : squashed_branch_).add();
-    ctx.window.pop_back();
-    ++count;
-  }
-  if (ctx.rename_idx > ctx.window.size()) ctx.rename_idx = ctx.window.size();
-  return count;
+std::size_t SmtCore::squash_younger_than(ThreadId tid, std::uint64_t dyn_id,
+                                         bool flush) {
+  return squash_younger_than_t<FetchPolicy>(*policy_, tid, dyn_id, flush);
 }
 
 std::size_t SmtCore::flush_after(ThreadId tid, std::uint64_t dyn_id) {
@@ -530,6 +313,7 @@ bool SmtCore::check_invariants() const {
       if (!first) DWARN_CHECK(d.dyn_id > prev_dyn);  // ascending; gaps after squash
       prev_dyn = d.dyn_id;
       first = false;
+      DWARN_CHECK(d.wpos == ctx.window.pos_at(i));  // stable-handle integrity
       const bool is_renamed = d.state != InstState::FrontEnd;
       DWARN_CHECK(is_renamed == (i < ctx.rename_idx));
       if (is_renamed) {
@@ -550,8 +334,8 @@ bool SmtCore::check_invariants() const {
   // Shared front end: live entries equal the FrontEnd-state population.
   std::size_t fe = 0;
   for (const ThreadCtx& ctx : threads_) {
-    for (const DynInst& d : ctx.window) {
-      if (d.state == InstState::FrontEnd) ++fe;
+    for (std::size_t i = 0; i < ctx.window.size(); ++i) {
+      if (ctx.window[i].state == InstState::FrontEnd) ++fe;
     }
   }
   DWARN_CHECK(fe == frontend_live_);

@@ -20,11 +20,17 @@
 // I-cache line boundary, an I-cache miss, or a full front-end buffer.
 // Wrong-path instructions are fetched, renamed, executed and squashed
 // exactly like real ones.
+//
+// Hot-path layout (docs/core_perf.md): the event calendar is a flat
+// bucket-ring EventWheel, the instruction windows and the shared front-end
+// queue are flat Rings with stable positions (O(1) instruction lookup from
+// queue/event entries), and the per-cycle FetchPolicy calls are
+// devirtualized by instantiating the tick loop per concrete policy type
+// (set_policy_typed; the virtual path stays as fallback and differential
+// reference).
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <vector>
 
 #include "bpred/frontend_predictor.hpp"
@@ -32,8 +38,10 @@
 #include "common/types.hpp"
 #include "core/core_config.hpp"
 #include "core/dyn_inst.hpp"
+#include "core/event_wheel.hpp"
 #include "core/phys_regfile.hpp"
 #include "core/rename_map.hpp"
+#include "core/ring.hpp"
 #include "mem/hierarchy.hpp"
 #include "policy/fetch_policy.hpp"
 #include "trace/code_layout.hpp"
@@ -56,11 +64,25 @@ class SmtCore final : public PolicyHost {
   SmtCore(const CoreConfig& cfg, MemoryHierarchy& mem, FrontEndPredictor& bpred,
           std::vector<ThreadProgram> programs, StatSet& stats);
 
-  /// Install the fetch policy (must be set before the first tick()).
-  void set_policy(FetchPolicy* policy) { policy_ = policy; }
+  /// Install the fetch policy behind virtual dispatch (must be set before
+  /// the first tick()). This is the fallback path for custom policies and
+  /// the differential-testing reference; production setup goes through
+  /// bind_policy_devirtualized (core/policy_dispatch.hpp).
+  void set_policy(FetchPolicy* policy);
+
+  /// Install `policy` and select the tick loop instantiated for its
+  /// concrete type: every per-cycle policy call inside the loop is a
+  /// direct (inlinable) call. Defined in smt_core_tick.ipp; instantiated
+  /// in smt_core.cpp (FetchPolicy) and policy_dispatch.cpp (one per
+  /// concrete policy class).
+  template <typename P>
+  void set_policy_typed(P* policy);
 
   /// Advance the machine one cycle.
-  void tick();
+  void tick() {
+    DWARN_CHECK(tick_fn_ != nullptr);
+    (this->*tick_fn_)();
+  }
 
   // --- PolicyHost ----------------------------------------------------------
   [[nodiscard]] Cycle now() const override { return now_; }
@@ -90,13 +112,16 @@ class SmtCore final : public PolicyHost {
 
   /// Verify structural invariants (register conservation, window ordering,
   /// queue consistency, icount accounting). Aborts via DWARN_CHECK inside;
-  /// returns true so tests can assert on it.
+  /// returns true so tests can assert on it. The full walk runs in every
+  /// build when called explicitly; tick() additionally calls it
+  /// periodically under DWARN_EXPENSIVE_CHECKS (debug builds).
   bool check_invariants() const;
 
  private:
   struct QEntry {
     ThreadId tid;
     std::uint64_t dyn_id;
+    std::uint64_t wpos;  ///< window-ring position of the instruction
   };
 
   struct EventRec {
@@ -110,6 +135,7 @@ class SmtCore final : public PolicyHost {
     Kind kind{};
     ThreadId tid{};
     std::uint64_t dyn_id{};
+    std::uint64_t wpos{};  ///< window-ring position of the instruction
     Addr pc{};
     Cycle fill_at{};
     bool l1_missed{};
@@ -119,7 +145,7 @@ class SmtCore final : public PolicyHost {
   struct ThreadCtx {
     InstStream* stream = nullptr;
     WrongPathSupplier* wrongpath = nullptr;
-    std::deque<DynInst> window;  ///< in-flight instructions, oldest first
+    Ring<DynInst> window;        ///< in-flight instructions, oldest first
     RenameMap rmap;
     std::size_t rename_idx = 0;  ///< next window index to rename
     unsigned icount = 0;         ///< pre-issue instructions (FrontEnd+InQueue)
@@ -133,22 +159,44 @@ class SmtCore final : public PolicyHost {
     Addr cur_fetch_line = ~Addr{0};
   };
 
-  // Stage helpers.
-  void process_events();
+  using TickFn = void (SmtCore::*)();
+
+  // Stage helpers. The stages that call into the policy are templated on
+  // the concrete policy type (bodies in smt_core_tick.ipp); the rest are
+  // ordinary members shared by every instantiation.
+  template <typename P> void tick_t();
+  template <typename P> void process_events_t(P& pol);
+  template <typename P> void do_rename_t(P& pol);
+  template <typename P> void do_fetch_t(P& pol);
+  template <typename P> void fetch_from_thread_t(P& pol, ThreadId tid, unsigned& budget);
+  template <typename P>
+  std::size_t squash_younger_than_t(P& pol, ThreadId tid, std::uint64_t dyn_id,
+                                    bool flush);
   void do_commit();
   void do_issue();
   void issue_one(DynInst& d);
-  void do_rename();
-  void do_fetch();
-  void fetch_from_thread(ThreadId tid, unsigned& budget);
+  void sample_occupancy();
 
-  /// Remove every instruction of `tid` younger than `dyn_id`.
+  /// Remove every instruction of `tid` younger than `dyn_id`, virtual-
+  /// dispatch wrapper (used by flush_after, which policies call mid-tick).
   /// `flush` selects the squash-accounting bucket (FLUSH policy vs branch).
   std::size_t squash_younger_than(ThreadId tid, std::uint64_t dyn_id, bool flush);
 
   void remove_from_iq(ThreadId tid, std::uint64_t dyn_id, IssueClass c);
+
+  /// O(1) lookup through a stored window-ring position; nullptr when the
+  /// instruction was squashed (position dead or re-occupied by a younger
+  /// instruction with a different dyn_id).
+  [[nodiscard]] DynInst* find_at(ThreadId tid, std::uint64_t dyn_id,
+                                 std::uint64_t wpos) {
+    Ring<DynInst>& w = threads_[tid].window;
+    if (!w.live(wpos)) return nullptr;
+    DynInst& d = w.at_pos(wpos);
+    return d.dyn_id == dyn_id ? &d : nullptr;
+  }
+  /// Binary-search lookup for callers without a position (flush_after).
   [[nodiscard]] DynInst* find(ThreadId tid, std::uint64_t dyn_id);
-  void schedule(Cycle at, EventRec ev);
+  void schedule(Cycle at, const EventRec& ev) { events_.schedule(now_, at, ev); }
   [[nodiscard]] PhysRegFile& regfile(RegClass c) {
     return c == RegClass::Fp ? fp_regs_ : int_regs_;
   }
@@ -164,6 +212,7 @@ class SmtCore final : public PolicyHost {
   MemoryHierarchy& mem_;
   FrontEndPredictor& bpred_;
   FetchPolicy* policy_ = nullptr;
+  TickFn tick_fn_ = nullptr;
   StatSet& stats_;
 
   std::vector<ThreadCtx> threads_;
@@ -177,10 +226,11 @@ class SmtCore final : public PolicyHost {
   /// the coupling that makes the fetch policy the machine's resource
   /// allocator — the paper's premise. Squashed instructions leave stale
   /// entries that rename skips for free.
-  std::deque<QEntry> frontend_q_;
+  Ring<QEntry> frontend_q_;
   std::size_t frontend_live_ = 0;  ///< live (non-squashed) entries
 
-  std::map<Cycle, std::vector<EventRec>> events_;
+  EventWheel<EventRec> events_;
+  std::vector<ThreadId> cands_;        ///< per-cycle scratch for fetch candidates
   std::vector<ThreadId> fetch_order_;  ///< per-cycle scratch for policy output
   Cycle now_ = 0;
   std::size_t commit_rr_ = 0;  ///< round-robin start for commit bandwidth
@@ -201,9 +251,7 @@ class SmtCore final : public PolicyHost {
   Counter& cloads_;
   Counter& cload_l1_misses_;
   Counter& cload_l2_misses_;
-  Histogram& occ_iq_int_;
-  Histogram& occ_iq_fp_;
-  Histogram& occ_iq_ls_;
+  std::array<Histogram*, kNumIssueClasses> occ_iq_;
   Histogram& occ_int_regs_;
 };
 

@@ -6,6 +6,7 @@
 
 #include "common/env.hpp"
 #include "common/rng.hpp"
+#include "core/policy_dispatch.hpp"
 #include "trace/trace_cache.hpp"
 #include "trace/trace_stream.hpp"
 
@@ -131,7 +132,14 @@ Simulator::Simulator(const MachineConfig& machine, const WorkloadSpec& workload,
                                     stats_);
   policy_ = make_policy(policy, *core_, params);
   DWARN_CHECK(policy_ != nullptr);
-  core_->set_policy(policy_.get());
+  // Default: tick loop instantiated for the concrete policy class (no
+  // virtual dispatch per cycle). SMT_DEVIRT=0 forces the virtual fallback
+  // — same machine, same bits, used as the differential reference.
+  if (devirt_enabled()) {
+    bind_policy_devirtualized(*core_, policy, policy_.get());
+  } else {
+    core_->set_policy(policy_.get());
+  }
 }
 
 void Simulator::tick(std::uint64_t n) {

@@ -1,0 +1,118 @@
+// Differential equivalence tests for the data-oriented core refactor.
+//
+// The devirtualized tick loop (SMT_DEVIRT=1, the default) and the
+// virtual-dispatch fallback (SMT_DEVIRT=0) must simulate the identical
+// machine: over a mixed fig1/fig3-shaped mini-grid (baseline + deep
+// machines, ILP and MEM workloads, low- and high-squash policies) the
+// serialized ResultStore JSON must be byte-identical across dispatch
+// modes, worker counts {1, 4}, sharded and unsharded execution, and
+// trace-cache on/off.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "engine/experiment_engine.hpp"
+#include "engine/result_store.hpp"
+#include "engine/shard.hpp"
+#include "sim/workload.hpp"
+#include "trace/trace_cache.hpp"
+
+namespace dwarn {
+namespace {
+
+/// Scoped environment override, restored on destruction (tests in this
+/// binary run sequentially, so no races).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (saved_) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+/// Mixed fig1/fig3 shape: both machine presets of those figures, one ILP
+/// and one MEM workload, policies covering the no-squash, gating and
+/// flush (recovery-heavy) paths, two seeds.
+std::vector<RunSpec> mini_grid() {
+  RunLength len;
+  len.warmup_insts = 500;
+  len.measure_insts = 2000;
+  RunGrid grid;
+  grid.machine(machine_spec("baseline"))
+      .machine(machine_spec("deep"))
+      .workload(workload_by_name("2-MIX"))
+      .workload(workload_by_name("4-MEM"))
+      .policy(PolicyKind::ICount)
+      .policy(PolicyKind::DWarn)
+      .policy(PolicyKind::Flush)
+      .seed_count(2)
+      .length(len);
+  return grid.expand();
+}
+
+std::string snapshot_json(const ResultSet& rs) {
+  ResultStore store;
+  store.set_zero_wall(true);  // wall time is the one host-varying field
+  store.add_all(rs);
+  return store.to_json();
+}
+
+std::string run_grid(const std::vector<RunSpec>& specs, const char* devirt,
+                     std::size_t workers) {
+  ScopedEnv mode("SMT_DEVIRT", devirt);
+  ThreadPool pool(workers);
+  return snapshot_json(ExperimentEngine(pool).run(specs));
+}
+
+TEST(DispatchDifferential, DevirtMatchesVirtualAcrossWorkerCounts) {
+  ScopedEnv cache("SMT_TRACE_CACHE", "0");
+  const std::vector<RunSpec> specs = mini_grid();
+  const std::string virtual_ref = run_grid(specs, "0", 1);
+  EXPECT_EQ(run_grid(specs, "1", 1), virtual_ref);
+  EXPECT_EQ(run_grid(specs, "1", 4), virtual_ref);
+  EXPECT_EQ(run_grid(specs, "0", 4), virtual_ref);
+}
+
+TEST(DispatchDifferential, DevirtMatchesVirtualWithWarmTraceCache) {
+  const std::vector<RunSpec> specs = mini_grid();
+  std::string virtual_ref;
+  {
+    ScopedEnv cache("SMT_TRACE_CACHE", "0");
+    virtual_ref = run_grid(specs, "0", 1);
+  }
+  ScopedEnv cache("SMT_TRACE_CACHE", "1");
+  TraceCache::shared().clear();
+  EXPECT_EQ(run_grid(specs, "1", 4), virtual_ref);
+  TraceCache::shared().clear();
+  EXPECT_EQ(run_grid(specs, "0", 4), virtual_ref);
+}
+
+TEST(DispatchDifferential, DevirtMatchesVirtualPerShard) {
+  ScopedEnv cache("SMT_TRACE_CACHE", "0");
+  const std::vector<RunSpec> specs = mini_grid();
+  const ShardPlan plan = ShardPlan::make(specs.size(), 2, ShardStrategy::Strided);
+  for (std::size_t k = 1; k <= 2; ++k) {
+    const std::vector<RunSpec> slice = slice_specs(specs, plan.indices(k));
+    EXPECT_EQ(run_grid(slice, "1", 4), run_grid(slice, "0", 1)) << "shard " << k << "/2";
+  }
+}
+
+}  // namespace
+}  // namespace dwarn
