@@ -1,0 +1,172 @@
+#include "analysis/intervals.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/json.hpp"
+#include "common/types.hpp"
+
+namespace dwarn::analysis {
+
+namespace {
+
+std::uint64_t num_at(const json::Value& v, std::string_view key) {
+  return static_cast<std::uint64_t>(v.at(key).as_number());
+}
+
+telem::IntervalSample parse_sample(const json::Value& v) {
+  telem::IntervalSample s;
+  s.cycle = num_at(v, "cycle");
+  const json::Array& committed = v.at("committed").as_array();
+  if (committed.size() > kMaxThreads) {
+    throw std::runtime_error("interval sample: committed[] wider than kMaxThreads");
+  }
+  s.num_threads = static_cast<std::uint32_t>(committed.size());
+  for (std::size_t t = 0; t < committed.size(); ++t) {
+    s.committed[t] = static_cast<std::uint64_t>(committed[t].as_number());
+  }
+  s.fetched = num_at(v, "fetched");
+  s.dmiss = num_at(v, "dmiss");
+  s.l2miss = num_at(v, "l2miss");
+  s.flush_events = num_at(v, "flush_events");
+  s.squashed_flush = num_at(v, "squashed_flush");
+  const json::Array& iq = v.at("iq").as_array();
+  if (iq.size() != kNumIssueClasses) {
+    throw std::runtime_error("interval sample: iq[] must have one entry per issue class");
+  }
+  for (std::size_t c = 0; c < kNumIssueClasses; ++c) {
+    s.iq[c] = static_cast<std::uint32_t>(iq[c].as_number());
+  }
+  const json::Array& window = v.at("window").as_array();
+  if (window.size() != committed.size()) {
+    throw std::runtime_error("interval sample: window[] and committed[] disagree");
+  }
+  for (std::size_t t = 0; t < window.size(); ++t) {
+    s.window[t] = static_cast<std::uint32_t>(window[t].as_number());
+  }
+  return s;
+}
+
+std::uint64_t total_committed(const telem::IntervalSample& s) {
+  std::uint64_t total = 0;
+  for (std::uint32_t t = 0; t < s.num_threads; ++t) total += s.committed[t];
+  return total;
+}
+
+std::uint64_t total_window(const telem::IntervalSample& s) {
+  std::uint64_t total = 0;
+  for (std::uint32_t t = 0; t < s.num_threads; ++t) total += s.window[t];
+  return total;
+}
+
+/// Delta of a cumulative field across consecutive samples, one value per
+/// gap; `denom` scales (e.g. per-kilo-instruction), 0 denominator -> 0.
+template <typename Field>
+std::vector<double> deltas(const IntervalSeries& s, Field field) {
+  std::vector<double> out;
+  if (s.samples.size() < 2) return out;
+  out.reserve(s.samples.size() - 1);
+  for (std::size_t i = 1; i < s.samples.size(); ++i) {
+    out.push_back(field(s.samples[i - 1], s.samples[i]));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<IntervalSeries> load_interval_series(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error(path + ": cannot open interval file");
+  std::vector<IntervalSeries> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    try {
+      const json::Value v = json::parse(line);
+      IntervalSeries s;
+      s.id.machine = v.at("machine").as_string();
+      s.id.workload = v.at("workload").as_string();
+      s.id.policy = v.at("policy").as_string();
+      s.id.tag = v.at("tag").as_string();
+      s.id.seed = num_at(v, "seed");
+      s.interval_cycles = num_at(v, "interval_cycles");
+      for (const json::Value& sample : v.at("samples").as_array()) {
+        s.samples.push_back(parse_sample(sample));
+      }
+      out.push_back(std::move(s));
+    } catch (const std::exception& e) {
+      std::ostringstream os;
+      os << path << ":" << lineno << ": " << e.what();
+      throw std::runtime_error(os.str());
+    }
+  }
+  return out;
+}
+
+const std::vector<std::string>& interval_counter_names() {
+  static const std::vector<std::string> names = {
+      "ipc",          "dmiss_per_kinst", "l2miss_per_kinst",
+      "flush_events", "squashed_flush",  "iq_int",
+      "iq_fp",        "iq_ls",           "window",
+  };
+  return names;
+}
+
+bool is_interval_counter(std::string_view name) {
+  for (const std::string& n : interval_counter_names()) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::vector<double> interval_counter_values(const IntervalSeries& s,
+                                            std::string_view counter) {
+  using S = telem::IntervalSample;
+  if (counter == "ipc") {
+    return deltas(s, [](const S& a, const S& b) {
+      const double dc = static_cast<double>(b.cycle) - static_cast<double>(a.cycle);
+      if (dc <= 0.0) return 0.0;
+      return static_cast<double>(total_committed(b) - total_committed(a)) / dc;
+    });
+  }
+  if (counter == "dmiss_per_kinst" || counter == "l2miss_per_kinst") {
+    const bool l2 = counter == "l2miss_per_kinst";
+    return deltas(s, [l2](const S& a, const S& b) {
+      const double di = static_cast<double>(total_committed(b) - total_committed(a));
+      if (di <= 0.0) return 0.0;
+      const double dm = l2 ? static_cast<double>(b.l2miss - a.l2miss)
+                           : static_cast<double>(b.dmiss - a.dmiss);
+      return dm * 1000.0 / di;
+    });
+  }
+  if (counter == "flush_events") {
+    return deltas(
+        s, [](const S& a, const S& b) { return static_cast<double>(b.flush_events - a.flush_events); });
+  }
+  if (counter == "squashed_flush") {
+    return deltas(s, [](const S& a, const S& b) {
+      return static_cast<double>(b.squashed_flush - a.squashed_flush);
+    });
+  }
+  if (counter == "iq_int" || counter == "iq_fp" || counter == "iq_ls") {
+    const std::size_t c = counter == "iq_int" ? 0 : counter == "iq_fp" ? 1 : 2;
+    std::vector<double> out;
+    out.reserve(s.samples.size());
+    for (const S& sample : s.samples) out.push_back(static_cast<double>(sample.iq[c]));
+    return out;
+  }
+  if (counter == "window") {
+    std::vector<double> out;
+    out.reserve(s.samples.size());
+    for (const S& sample : s.samples) {
+      out.push_back(static_cast<double>(total_window(sample)));
+    }
+    return out;
+  }
+  throw std::runtime_error("unknown interval counter '" + std::string(counter) + "'");
+}
+
+}  // namespace dwarn::analysis

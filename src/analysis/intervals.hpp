@@ -1,0 +1,53 @@
+// Aggregation of TELEM_*.intervals.jsonl series (the read side of the
+// interval-counter telemetry the engine emits, schema in
+// docs/observability.md).
+//
+// Each JSONL line is one run's full sample series with cumulative counter
+// values; this module derives per-interval counters from consecutive
+// samples — rates like IPC and misses per kilo-instruction, event deltas
+// like flushes, and instantaneous occupancies — and groups them by run
+// identity so the CLI can print time-series, per-cell summaries, and
+// paired per-counter policy diffs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/counter_sampler.hpp"
+
+namespace dwarn::analysis {
+
+/// One run's interval series as read back from a telemetry file.
+struct IntervalSeries {
+  telem::IntervalRunId id;
+  std::uint64_t interval_cycles = 0;
+  std::vector<telem::IntervalSample> samples;
+};
+
+/// Parse every line of one TELEM_*.intervals.jsonl file. Throws
+/// std::runtime_error (with the path) on a missing file or a malformed
+/// line — telemetry written by this tree must parse; partial reads would
+/// silently bias aggregates.
+[[nodiscard]] std::vector<IntervalSeries> load_interval_series(const std::string& path);
+
+/// The derived per-interval counters, in display order:
+///   ipc              committed instructions per cycle
+///   dmiss_per_kinst  committed-path L1 D-misses per 1000 committed
+///   l2miss_per_kinst committed-path L2 misses per 1000 committed
+///   flush_events     FLUSH-style squash events in the interval
+///   squashed_flush   instructions squashed by those flushes
+///   iq_int/iq_fp/iq_ls  instantaneous issue-queue occupancy
+///   window           instantaneous total instruction-window occupancy
+[[nodiscard]] const std::vector<std::string>& interval_counter_names();
+[[nodiscard]] bool is_interval_counter(std::string_view name);
+
+/// The counter's per-interval values over one series. Delta-derived
+/// counters yield samples-1 values (consecutive-sample differences);
+/// occupancy counters yield one value per sample. Throws on an unknown
+/// counter name.
+[[nodiscard]] std::vector<double> interval_counter_values(const IntervalSeries& s,
+                                                          std::string_view counter);
+
+}  // namespace dwarn::analysis

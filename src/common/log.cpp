@@ -1,0 +1,129 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace dwarn {
+
+std::optional<LogLevel> log_level_from_name(std::string_view name) {
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn") return LogLevel::Warn;
+  return std::nullopt;
+}
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+  }
+  return "?";
+}
+
+namespace {
+
+std::atomic<int>& threshold_storage() {
+  // -1 = not yet initialized from the environment.
+  static std::atomic<int> threshold{-1};
+  return threshold;
+}
+
+LogLevel threshold_from_env() {
+  const char* v = std::getenv("SMT_LOG");
+  if (v == nullptr) return LogLevel::Info;
+  if (const auto level = log_level_from_name(v)) return *level;
+  std::fprintf(stderr,
+               "[dwarn] warning: SMT_LOG='%s' is not debug|info|warn; using info\n", v);
+  return LogLevel::Info;
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  int t = threshold_storage().load(std::memory_order_relaxed);
+  if (t < 0) {
+    t = static_cast<int>(threshold_from_env());
+    threshold_storage().store(t, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(t);
+}
+
+void set_log_threshold(LogLevel level) {
+  threshold_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+std::string log_prefix(LogLevel level, const char* tag) {
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm{};
+  const std::time_t secs = ts.tv_sec;
+  localtime_r(&secs, &tm);
+  // A short stable per-thread id: the full hash is overkill for telling
+  // scheduler and worker lines apart.
+  const auto tid = static_cast<unsigned>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xFFFFFF);
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "[%02d:%02d:%02d.%03ld t=%06x %s] %s: ", tm.tm_hour,
+                tm.tm_min, tm.tm_sec, ts.tv_nsec / 1'000'000, tid,
+                std::string(to_string(level)).c_str(), tag);
+  return buf;
+}
+
+namespace {
+
+void vlog_line(LogLevel level, const char* tag, const char* fmt, va_list args) {
+  if (!log_enabled(level)) return;
+  va_list measure;
+  va_copy(measure, args);
+  const int body = std::vsnprintf(nullptr, 0, fmt, measure);
+  va_end(measure);
+  if (body < 0) return;
+  const std::string prefix = log_prefix(level, tag);
+  std::vector<char> line(prefix.size() + static_cast<std::size_t>(body) + 2);
+  std::memcpy(line.data(), prefix.data(), prefix.size());
+  std::vsnprintf(line.data() + prefix.size(), static_cast<std::size_t>(body) + 1, fmt,
+                 args);
+  line[prefix.size() + static_cast<std::size_t>(body)] = '\n';
+  // One fwrite per line: concurrent threads never interleave mid-line.
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
+
+}  // namespace
+
+void log_line(LogLevel level, const char* tag, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  vlog_line(level, tag, fmt, args);
+  va_end(args);
+}
+
+void log_debug(const char* tag, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  vlog_line(LogLevel::Debug, tag, fmt, args);
+  va_end(args);
+}
+
+void log_info(const char* tag, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  vlog_line(LogLevel::Info, tag, fmt, args);
+  va_end(args);
+}
+
+void log_warn(const char* tag, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  vlog_line(LogLevel::Warn, tag, fmt, args);
+  va_end(args);
+}
+
+}  // namespace dwarn

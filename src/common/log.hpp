@@ -1,0 +1,51 @@
+// Leveled stderr logger shared by the tools and the orchestrator.
+//
+// One process-wide threshold (SMT_LOG=debug|info|warn, default info)
+// gates timestamped, thread-tagged lines:
+//
+//   [14:03:52.117 t=01f3a2 info] orch: dispatch shard 2/3 attempt 1 ...
+//
+// Logging is diagnostics only: it writes to stderr, never to result
+// files, so enabling or silencing it cannot change a single snapshot
+// byte. Writers format into one buffer and emit it with a single stdio
+// call so concurrent threads do not interleave mid-line.
+#pragma once
+
+#include <cstdarg>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dwarn {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2 };
+
+/// "debug"/"info"/"warn" -> level; nullopt on anything else.
+[[nodiscard]] std::optional<LogLevel> log_level_from_name(std::string_view name);
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+/// The process threshold. First call reads SMT_LOG (a bad value warns and
+/// keeps the default); set_log_threshold overrides it afterwards (tests,
+/// --verbose-style flags).
+[[nodiscard]] LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+[[nodiscard]] inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_threshold());
+}
+
+/// The "[HH:MM:SS.mmm t=xxxxxx level] tag: " line prefix (exposed so the
+/// format itself is unit-testable).
+[[nodiscard]] std::string log_prefix(LogLevel level, const char* tag);
+
+__attribute__((format(printf, 3, 4)))
+void log_line(LogLevel level, const char* tag, const char* fmt, ...);
+
+__attribute__((format(printf, 2, 3)))
+void log_debug(const char* tag, const char* fmt, ...);
+__attribute__((format(printf, 2, 3)))
+void log_info(const char* tag, const char* fmt, ...);
+__attribute__((format(printf, 2, 3)))
+void log_warn(const char* tag, const char* fmt, ...);
+
+}  // namespace dwarn

@@ -72,6 +72,30 @@ SmtCore::SmtCore(const CoreConfig& cfg, MemoryHierarchy& mem, FrontEndPredictor&
 
 void SmtCore::set_policy(FetchPolicy* policy) { set_policy_typed<FetchPolicy>(policy); }
 
+void SmtCore::attach_sampler(telem::CounterSampler* sampler) {
+  // Must precede policy binding: set_policy_typed bakes the presence of a
+  // sampler into the selected tick-loop instantiation.
+  DWARN_CHECK(tick_fn_ == nullptr);
+  sampler_ = sampler;
+}
+
+void SmtCore::telem_sample() {
+  telem::IntervalSample& s = sampler_->begin_sample(now_);
+  s.num_threads = static_cast<std::uint32_t>(threads_.size());
+  for (std::size_t t = 0; t < threads_.size(); ++t) {
+    s.committed[t] = committed_tid_[t]->value();
+    s.window[t] = static_cast<std::uint32_t>(threads_[t].window.size());
+  }
+  s.fetched = fetched_.value();
+  s.dmiss = cload_l1_misses_.value();
+  s.l2miss = cload_l2_misses_.value();
+  s.flush_events = flush_events_.value();
+  s.squashed_flush = squashed_flush_.value();
+  for (std::size_t c = 0; c < kNumIssueClasses; ++c) {
+    s.iq[c] = static_cast<std::uint32_t>(iqs_[c].size());
+  }
+}
+
 unsigned SmtCore::icount(ThreadId tid) const {
   DWARN_CHECK(tid < threads_.size());
   return threads_[tid].icount;

@@ -50,6 +50,10 @@
 
 namespace dwarn {
 
+namespace telem {
+class CounterSampler;
+}
+
 /// The instruction supply of one hardware context. The stream may be a
 /// generating TraceStream or a warm-cache ReplayStream — the core cannot
 /// tell (and must not be able to tell) the difference.
@@ -77,6 +81,17 @@ class SmtCore final : public PolicyHost {
   /// concrete policy class).
   template <typename P>
   void set_policy_typed(P* policy);
+
+  /// Attach an interval CounterSampler (telemetry). Must precede policy
+  /// binding: set_policy_typed selects the tick-loop variant with the
+  /// sampling hook compiled in only when a sampler is present, so the
+  /// telemetry-off hot path contains no sampling code at all.
+  void attach_sampler(telem::CounterSampler* sampler);
+  [[nodiscard]] telem::CounterSampler* sampler() const { return sampler_; }
+
+  /// Record one interval sample into the attached sampler (out-of-line —
+  /// only the cheap next_at comparison lives in the tick loop).
+  void telem_sample();
 
   /// Advance the machine one cycle.
   void tick() {
@@ -164,7 +179,7 @@ class SmtCore final : public PolicyHost {
   // Stage helpers. The stages that call into the policy are templated on
   // the concrete policy type (bodies in smt_core_tick.ipp); the rest are
   // ordinary members shared by every instantiation.
-  template <typename P> void tick_t();
+  template <typename P, bool Telem> void tick_t();
   template <typename P> void process_events_t(P& pol);
   template <typename P> void do_rename_t(P& pol);
   template <typename P> void do_fetch_t(P& pol);
@@ -213,6 +228,7 @@ class SmtCore final : public PolicyHost {
   FrontEndPredictor& bpred_;
   FetchPolicy* policy_ = nullptr;
   TickFn tick_fn_ = nullptr;
+  telem::CounterSampler* sampler_ = nullptr;
   StatSet& stats_;
 
   std::vector<ThreadCtx> threads_;

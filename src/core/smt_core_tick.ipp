@@ -9,6 +9,7 @@
 #pragma once
 
 #include "core/smt_core.hpp"
+#include "telemetry/counter_sampler.hpp"
 
 namespace dwarn {
 
@@ -16,10 +17,14 @@ template <typename P>
 void SmtCore::set_policy_typed(P* policy) {
   DWARN_CHECK(policy != nullptr);
   policy_ = policy;
-  tick_fn_ = &SmtCore::tick_t<P>;
+  // The sampling hook is compiled into the loop only when a sampler is
+  // attached: the telemetry-off instantiation is byte-for-byte the old
+  // tick loop, so telemetry costs nothing unless armed.
+  tick_fn_ = sampler_ != nullptr ? &SmtCore::tick_t<P, true>
+                                 : &SmtCore::tick_t<P, false>;
 }
 
-template <typename P>
+template <typename P, bool Telem>
 void SmtCore::tick_t() {
   P& pol = *static_cast<P*>(policy_);
   ++now_;
@@ -31,6 +36,11 @@ void SmtCore::tick_t() {
   do_rename_t<P>(pol);
   do_fetch_t<P>(pol);
   sample_occupancy();
+  if constexpr (Telem) {
+    // Keyed to the simulated cycle, so the sample series is a pure
+    // function of the simulation — deterministic across hosts and runs.
+    if (now_ >= sampler_->next_at()) telem_sample();
+  }
 #if DWARN_EXPENSIVE_CHECKS
   if ((now_ & 0xFF) == 0) check_invariants();
 #endif

@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 #include <numeric>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/simulator.hpp"
+#include "telemetry/counter_sampler.hpp"
+#include "telemetry/phase_trace.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace_cache.hpp"
 
 namespace dwarn {
@@ -100,14 +105,23 @@ std::vector<std::size_t> ExperimentEngine::batch_order(const std::vector<RunSpec
 ResultSet ExperimentEngine::run(const std::vector<RunSpec>& specs) const {
   std::vector<RunRecord> records(specs.size());
   const std::vector<std::size_t> order = batch_order(specs);
+  std::mutex done_mu;
+  std::size_t done = 0;
   pool_->for_each(
       specs.size(),
       [&](std::size_t job) {
         const std::size_t i = order[job];
         const RunSpec& s = specs[i];
         const auto t0 = std::chrono::steady_clock::now();
-        SimResult result = run_simulation(s.machine.build(s.workload.num_threads()),
-                                          s.workload, s.policy, s.len, s.params, s.seed);
+        Simulator sim(s.machine.build(s.workload.num_threads()), s.workload, s.policy,
+                      s.params, s.seed, trace_window_insts(s.len));
+        SimResult result;
+        {
+          telem::PhaseSpan span("simulate",
+                                "{\"workload\":\"" + telem::telem_json_escape(s.workload.name) +
+                                    "\",\"seed\":" + std::to_string(s.seed) + "}");
+          result = sim.run(s.len);
+        }
         const auto t1 = std::chrono::steady_clock::now();
         if (!s.machine.name.empty()) result.machine = s.machine.name;
         RunRecord& rec = records[i];
@@ -119,6 +133,18 @@ ResultSet ExperimentEngine::run(const std::vector<RunSpec>& specs) const {
         rec.role = s.role;
         rec.result = std::move(result);
         rec.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+        // Interval series (telemetry): one JSONL record per run, carrying
+        // the run identity so append order — worker-completion order,
+        // nondeterministic — does not matter to the reader.
+        if (sim.sampler() != nullptr && telem::IntervalSink::shared().is_open()) {
+          telem::IntervalRunId id{rec.machine, rec.workload.name, rec.policy, rec.tag,
+                                  rec.seed};
+          telem::IntervalSink::shared().append(telem::interval_json_line(id, *sim.sampler()));
+        }
+        if (observer_) {
+          std::lock_guard<std::mutex> lock(done_mu);
+          observer_(++done, specs.size(), rec);
+        }
       },
       max_workers_);
   return ResultSet(std::move(records));

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -84,6 +85,15 @@ class ExperimentEngine {
   [[nodiscard]] ResultSet run(const RunGrid& grid) const { return run(grid.expand()); }
   [[nodiscard]] ResultSet run(const std::vector<RunSpec>& specs) const;
 
+  /// Completion observer: called once per finished run, serialized under
+  /// an internal mutex, with (runs completed so far, total runs, the
+  /// finished record). Completion order is worker-scheduling order —
+  /// nondeterministic by nature, which is fine for its purpose (streaming
+  /// progress events); the ResultSet stays in grid order regardless.
+  using RunObserver =
+      std::function<void(std::size_t done, std::size_t total, const RunRecord& rec)>;
+  void set_observer(RunObserver observer) { observer_ = std::move(observer); }
+
   /// Execution order of `specs` (a permutation of grid indices). With the
   /// warm trace cache on, runs are grouped by (workload, seed) so every
   /// variant of a grid point replays the group's materialized traces while
@@ -94,6 +104,7 @@ class ExperimentEngine {
  private:
   ThreadPool* pool_;
   std::size_t max_workers_;  ///< cap on in-flight runs (0 = pool width)
+  RunObserver observer_;     ///< optional per-run completion callback
 };
 
 }  // namespace dwarn

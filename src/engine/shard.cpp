@@ -4,10 +4,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
 #include "common/check.hpp"
 #include "engine/experiment_engine.hpp"
 #include "engine/result_store.hpp"
+#include "telemetry/phase_trace.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace_cache.hpp"
 
 namespace dwarn {
@@ -208,7 +212,28 @@ bool run_shard_to_file(const std::vector<RunSpec>& specs, const ShardSpec& shard
   header.fingerprint = grid_fingerprint(specs);
   header.indices = plan.indices(shard.index);
 
-  const ResultSet rs = ExperimentEngine().run(slice_specs(specs, header.indices));
+  // Streaming status plane: with telemetry on, this worker appends
+  // progress events next to its fragment. The file is append-mode, so a
+  // retried attempt adds a second "start" (attempt count = start count).
+  telem::ProgressWriter progress;
+  if (telem::telemetry_enabled()) {
+    const auto it = meta.find("bench");
+    const std::string bench = it != meta.end() ? it->second : "shard";
+    const std::filesystem::path dir = std::filesystem::path(path).parent_path();
+    progress.open(
+        (dir / telem::progress_filename(bench, shard.index, shard.count)).string());
+    progress.event_start(shard.index, shard.count, header.indices.size());
+  }
+  ExperimentEngine engine;
+  std::uint64_t insts = 0;
+  if (progress.is_open()) {
+    engine.set_observer([&](std::size_t done, std::size_t total, const RunRecord& rec) {
+      const auto it = rec.result.counters.find("core.committed");
+      if (it != rec.result.counters.end()) insts += it->second;
+      progress.event_run(done, total, insts);
+    });
+  }
+  const ResultSet rs = engine.run(slice_specs(specs, header.indices));
 
   ResultStore store;
   for (const auto& [k, v] : meta) store.set_meta(k, v);
@@ -219,7 +244,11 @@ bool run_shard_to_file(const std::vector<RunSpec>& specs, const ShardSpec& shard
   store.set_shard(header);
   store.set_zero_wall(zero_wall);
   store.add_all(rs);
-  if (!store.write_json(path)) return false;
+  {
+    telem::PhaseSpan span("serialize", "{\"runs\":" + std::to_string(rs.size()) + "}");
+    if (!store.write_json(path)) return false;
+  }
+  progress.event_done(header.indices.size(), header.indices.size(), insts);
   std::printf("[shard %zu/%zu (%s): %zu of %zu runs -> %s]\n", shard.index, shard.count,
               std::string(to_string(strategy)).c_str(), header.indices.size(),
               specs.size(), path.c_str());

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/log.hpp"
 #include "engine/experiment_engine.hpp"
 #include "engine/grid_registry.hpp"
 #include "engine/run_spec.hpp"
@@ -153,9 +154,9 @@ void SubprocessLauncher::kill(JobId id) {
 SubprocessLauncher::~SubprocessLauncher() = default;
 
 std::optional<JobId> SubprocessLauncher::start(const WorkUnit&) {
-  std::fprintf(stderr,
-               "[orch] subprocess backend is unavailable on this platform; "
-               "use the thread backend\n");
+  log_warn("orch",
+           "subprocess backend is unavailable on this platform; "
+           "use the thread backend");
   return std::nullopt;
 }
 

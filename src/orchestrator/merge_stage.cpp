@@ -4,10 +4,13 @@
 
 #include "analysis/trajectory.hpp"
 #include "engine/result_store.hpp"
+#include "telemetry/phase_trace.hpp"
 
 namespace dwarn::orch {
 
 MergeOutcome merge_sweep(const DispatchPlan& plan) {
+  telem::PhaseSpan span("merge",
+                        "{\"fragments\":" + std::to_string(plan.units.size()) + "}");
   MergeOutcome out;
   out.merged_path = plan.merged_path();
   try {

@@ -1,16 +1,18 @@
 #include "orchestrator/scheduler.hpp"
 
 #include <algorithm>
-#include <cstdarg>
-#include <cstdio>
 #include <thread>
 
 #include "common/check.hpp"
 #include "common/env.hpp"
+#include "common/log.hpp"
 
 namespace dwarn::orch {
 
 void SchedulerOptions::apply_env() {
+  if (const auto ms = env_u64("SMT_ORCH_POLL_MS", 1, 60'000)) {
+    poll_interval = std::chrono::milliseconds(*ms);
+  }
   if (const auto shard = env_u64("SMT_ORCH_FAULT_KILL", 1, kMaxShards)) {
     fault_kill_shard = static_cast<std::size_t>(*shard);
   }
@@ -18,22 +20,6 @@ void SchedulerOptions::apply_env() {
     fault_kill_attempt = static_cast<int>(*attempt);
   }
 }
-
-namespace {
-
-__attribute__((format(printf, 2, 3)))
-void log_line(bool verbose, const char* fmt, ...) {
-  if (!verbose) return;
-  va_list args;
-  va_start(args, fmt);
-  std::printf("[orch] ");
-  std::vprintf(fmt, args);
-  std::printf("\n");
-  std::fflush(stdout);
-  va_end(args);
-}
-
-}  // namespace
 
 SweepOutcome Scheduler::run(const DispatchPlan& plan) {
   DWARN_CHECK(plan.units.size() == plan.shards);
@@ -48,13 +34,17 @@ SweepOutcome Scheduler::run(const DispatchPlan& plan) {
     const int attempt = tracker.progress(shard).attempts;
     if (tracker.on_failed(shard, why, now)) {
       const auto delay = tracker.backoff_delay(attempt);
-      log_line(opt_.verbose, "shard %zu/%zu attempt %d FAILED (%s); retry in %lld ms",
-               shard, plan.shards, attempt, why.c_str(),
-               static_cast<long long>(delay.count()));
+      if (opt_.verbose) {
+        log_warn("orch", "shard %zu/%zu attempt %d FAILED (%s); retry in %lld ms",
+                 shard, plan.shards, attempt, why.c_str(),
+                 static_cast<long long>(delay.count()));
+      }
     } else {
-      log_line(opt_.verbose,
-               "shard %zu/%zu attempt %d FAILED (%s); retries exhausted, aborting sweep",
-               shard, plan.shards, attempt, why.c_str());
+      if (opt_.verbose) {
+        log_warn("orch",
+                 "shard %zu/%zu attempt %d FAILED (%s); retries exhausted, aborting sweep",
+                 shard, plan.shards, attempt, why.c_str());
+      }
       aborted = true;
     }
   };
@@ -80,11 +70,13 @@ SweepOutcome Scheduler::run(const DispatchPlan& plan) {
         continue;
       }
       tracker.on_dispatched(*next, *job, now);
-      log_line(opt_.verbose, "dispatch shard %zu/%zu attempt %d (%zu runs, %s job %llu%s)",
-               *next, plan.shards, attempt, unit.indices.size(),
-               std::string(launcher_->name()).c_str(),
-               static_cast<unsigned long long>(*job),
-               unit.inject_fault ? ", injected fault" : "");
+      if (opt_.verbose) {
+        log_info("orch", "dispatch shard %zu/%zu attempt %d (%zu runs, %s job %llu%s)",
+                 *next, plan.shards, attempt, unit.indices.size(),
+                 std::string(launcher_->name()).c_str(),
+                 static_cast<unsigned long long>(*job),
+                 unit.inject_fault ? ", injected fault" : "");
+      }
     }
 
     // Poll what is in flight.
@@ -103,8 +95,10 @@ SweepOutcome Scheduler::run(const DispatchPlan& plan) {
         const auto secs = std::chrono::duration_cast<std::chrono::milliseconds>(
                               now - p.started).count();
         tracker.on_succeeded(shard);
-        log_line(opt_.verbose, "shard %zu/%zu ok (attempt %d, %lld ms)", shard,
-                 plan.shards, p.attempts, static_cast<long long>(secs));
+        if (opt_.verbose) {
+          log_info("orch", "shard %zu/%zu ok (attempt %d, %lld ms)", shard,
+                   plan.shards, p.attempts, static_cast<long long>(secs));
+        }
       } else {
         fail_attempt(shard, status.detail.empty() ? "failed" : status.detail, now);
       }
@@ -119,7 +113,9 @@ SweepOutcome Scheduler::run(const DispatchPlan& plan) {
   // must not leave workers grinding in the background.
   for (const std::size_t shard : tracker.running()) {
     launcher_->kill(tracker.progress(shard).job);
-    log_line(opt_.verbose, "shard %zu/%zu killed (sweep aborted)", shard, plan.shards);
+    if (opt_.verbose) {
+      log_warn("orch", "shard %zu/%zu killed (sweep aborted)", shard, plan.shards);
+    }
   }
 
   SweepOutcome outcome;

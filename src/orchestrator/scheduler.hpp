@@ -34,7 +34,7 @@ struct SchedulerOptions {
   std::chrono::milliseconds backoff_cap{5000};
   std::chrono::milliseconds timeout{0};        ///< per-attempt wall cap; 0 = none
   std::chrono::milliseconds poll_interval{25};
-  bool verbose = true;  ///< per-event "[orch] ..." lines on stdout
+  bool verbose = true;  ///< per-event "orch: ..." log lines (stderr)
 
   /// Injected-failure hook: shard `fault_kill_shard`'s attempt number
   /// `fault_kill_attempt` is killed mid-run (see Launcher). Used by the
@@ -42,10 +42,13 @@ struct SchedulerOptions {
   std::optional<std::size_t> fault_kill_shard;
   int fault_kill_attempt = 1;
 
-  /// Fill the fault hook from the environment:
+  /// Fill options from the environment:
+  ///   SMT_ORCH_POLL_MS        scheduler poll sleep in [1, 60000] ms
+  ///                           (status --follow reuses it for its refresh)
   ///   SMT_ORCH_FAULT_KILL     shard number whose attempt is killed
   ///   SMT_ORCH_FAULT_ATTEMPT  which attempt dies (default 1)
-  /// Out-of-range values warn on stderr and leave the hook unset.
+  /// Out-of-range values warn on stderr and leave the option unchanged.
+  /// CLI flags are applied after this, so they win over the environment.
   void apply_env();
 };
 

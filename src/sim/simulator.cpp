@@ -7,6 +7,8 @@
 #include "common/env.hpp"
 #include "common/rng.hpp"
 #include "core/policy_dispatch.hpp"
+#include "telemetry/counter_sampler.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace_cache.hpp"
 #include "trace/trace_stream.hpp"
 
@@ -130,6 +132,13 @@ Simulator::Simulator(const MachineConfig& machine, const WorkloadSpec& workload,
 
   core_ = std::make_unique<SmtCore>(machine_.core, *mem_, *bpred_, std::move(programs),
                                     stats_);
+  // Telemetry: attach before policy binding so set_policy_typed selects
+  // the tick-loop variant with the sampling hook compiled in.
+  if (telem::telemetry_enabled()) {
+    sampler_ = std::make_unique<telem::CounterSampler>(telem::telemetry_interval(),
+                                                       telem::telemetry_ring_capacity());
+    core_->attach_sampler(sampler_.get());
+  }
   policy_ = make_policy(policy, *core_, params);
   DWARN_CHECK(policy_ != nullptr);
   // Default: tick loop instantiated for the concrete policy class (no
@@ -141,6 +150,8 @@ Simulator::Simulator(const MachineConfig& machine, const WorkloadSpec& workload,
     core_->set_policy(policy_.get());
   }
 }
+
+Simulator::~Simulator() = default;
 
 void Simulator::tick(std::uint64_t n) {
   for (std::uint64_t i = 0; i < n; ++i) core_->tick();
@@ -155,6 +166,9 @@ SimResult Simulator::run(const RunLength& len) {
     }
   }
   stats_.reset_all();
+  // Interval series covers exactly the measurement window: drop warm-up
+  // samples and re-arm at the (reset) counter origin.
+  if (sampler_) sampler_->restart(core_->now());
 
   // Measurement window.
   {

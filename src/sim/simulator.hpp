@@ -21,6 +21,10 @@
 
 namespace dwarn {
 
+namespace telem {
+class CounterSampler;
+}
+
 /// Run-length controls. `from_env` honors:
 ///   SMT_BENCH_WINDOWS "<warmup>:<measure>" (or just "<measure>", warm-up
 ///                     defaulting to a quarter of it): both windows in one
@@ -62,8 +66,13 @@ class Simulator {
   Simulator(const MachineConfig& machine, const WorkloadSpec& workload,
             PolicyKind policy, const PolicyParams& params = {},
             std::uint64_t seed = 1, std::uint64_t trace_insts_hint = 0);
+  ~Simulator();  // out-of-line: CounterSampler is incomplete here
 
   /// Warm up, reset statistics, then measure. Returns the result summary.
+  /// With SMT_TELEM=1 the core carries an interval CounterSampler whose
+  /// series is restarted at the warm-up/measurement boundary; sampling
+  /// reads counters only and never perturbs the simulated machine, so
+  /// results are bit-identical with telemetry on or off.
   SimResult run(const RunLength& len);
 
   /// Advance `n` cycles without any window bookkeeping (test hook).
@@ -74,6 +83,8 @@ class Simulator {
   [[nodiscard]] MemoryHierarchy& memory() { return *mem_; }
   [[nodiscard]] FetchPolicy& policy() { return *policy_; }
   [[nodiscard]] const WorkloadSpec& workload() const { return workload_; }
+  /// The run's interval sampler; nullptr unless SMT_TELEM=1.
+  [[nodiscard]] telem::CounterSampler* sampler() const { return sampler_.get(); }
 
  private:
   MachineConfig machine_;
@@ -84,6 +95,7 @@ class Simulator {
   std::vector<std::unique_ptr<InstStream>> streams_;
   std::vector<std::unique_ptr<WrongPathSupplier>> wrongpaths_;
   std::unique_ptr<SmtCore> core_;
+  std::unique_ptr<telem::CounterSampler> sampler_;
   std::unique_ptr<FetchPolicy> policy_;
 };
 

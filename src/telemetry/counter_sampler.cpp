@@ -1,0 +1,97 @@
+#include "telemetry/counter_sampler.hpp"
+
+#include "common/check.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace dwarn::telem {
+
+CounterSampler::CounterSampler(std::uint64_t interval_cycles, std::size_t capacity)
+    : base_interval_(interval_cycles),
+      interval_(interval_cycles),
+      capacity_(capacity),
+      next_at_(interval_cycles) {
+  DWARN_CHECK(interval_cycles >= 1);
+  DWARN_CHECK(capacity >= 2);  // decimation needs at least a pair
+  ring_.reserve(capacity_);
+}
+
+IntervalSample& CounterSampler::begin_sample(Cycle now) {
+  if (ring_.size() == capacity_) decimate();
+  ring_.emplace_back();
+  ring_.back().cycle = now;
+  next_at_ = now + interval_;
+  return ring_.back();
+}
+
+void CounterSampler::decimate() {
+  // Keep the samples at odd indices — each is the end of one doubled
+  // interval, and cumulative values make the retained series exact.
+  std::size_t w = 0;
+  for (std::size_t r = 1; r < ring_.size(); r += 2) ring_[w++] = ring_[r];
+  ring_.resize(w);
+  interval_ *= 2;
+}
+
+void CounterSampler::restart(Cycle now) {
+  ring_.clear();
+  interval_ = base_interval_;
+  next_at_ = now + interval_;
+}
+
+namespace {
+
+void append_u64_array(std::string& out, const char* key, const std::uint64_t* v,
+                      std::size_t n) {
+  out += '"';
+  out += key;
+  out += "\":[";
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(v[i]);
+  }
+  out += ']';
+}
+
+void append_u32_array(std::string& out, const char* key, const std::uint32_t* v,
+                      std::size_t n) {
+  out += '"';
+  out += key;
+  out += "\":[";
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(v[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string interval_json_line(const IntervalRunId& id, const CounterSampler& sampler) {
+  std::string out = "{\"machine\":\"" + telem_json_escape(id.machine) +
+                    "\",\"workload\":\"" + telem_json_escape(id.workload) +
+                    "\",\"policy\":\"" + telem_json_escape(id.policy) + "\",\"tag\":\"" +
+                    telem_json_escape(id.tag) + "\",\"seed\":" + std::to_string(id.seed) +
+                    ",\"interval_cycles\":" + std::to_string(sampler.interval()) +
+                    ",\"samples\":[";
+  bool first = true;
+  for (const IntervalSample& s : sampler.samples()) {
+    if (!first) out += ',';
+    first = false;
+    const std::size_t nt = s.num_threads;
+    out += "{\"cycle\":" + std::to_string(s.cycle) + ',';
+    append_u64_array(out, "committed", s.committed, nt);
+    out += ",\"fetched\":" + std::to_string(s.fetched) +
+           ",\"dmiss\":" + std::to_string(s.dmiss) +
+           ",\"l2miss\":" + std::to_string(s.l2miss) +
+           ",\"flush_events\":" + std::to_string(s.flush_events) +
+           ",\"squashed_flush\":" + std::to_string(s.squashed_flush) + ',';
+    append_u32_array(out, "iq", s.iq, kNumIssueClasses);
+    out += ',';
+    append_u32_array(out, "window", s.window, nt);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dwarn::telem

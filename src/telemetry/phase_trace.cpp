@@ -1,0 +1,92 @@
+#include "telemetry/phase_trace.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#include "common/log.hpp"
+
+namespace dwarn::telem {
+
+PhaseTracer& PhaseTracer::shared() {
+  static PhaseTracer tracer;
+  return tracer;
+}
+
+void PhaseTracer::enable(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  path_ = std::move(path);
+  epoch_ = std::chrono::steady_clock::now();
+  events_.clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+std::uint64_t PhaseTracer::now_us() const {
+  if (!enabled()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - epoch_)
+                                        .count());
+}
+
+void PhaseTracer::record(const char* name, std::uint64_t ts_us, std::uint64_t dur_us,
+                         std::string args_json) {
+  if (!enabled()) return;
+  const auto tid = static_cast<std::uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xFFFFFF);
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(TraceEvent{name, ts_us, dur_us, tid, std::move(args_json)});
+}
+
+std::size_t PhaseTracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+bool PhaseTracer::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (path_.empty()) return false;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    log_warn("telem", "cannot write phase trace '%s'", path_.c_str());
+    return false;
+  }
+  const long long pid = static_cast<long long>(::getpid());
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", f);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    std::fprintf(f,
+                 "%s\n{\"name\":\"%s\",\"cat\":\"dwarn\",\"ph\":\"X\",\"ts\":%llu,"
+                 "\"dur\":%llu,\"pid\":%lld,\"tid\":%llu",
+                 i == 0 ? "" : ",", e.name,
+                 static_cast<unsigned long long>(e.ts_us),
+                 static_cast<unsigned long long>(e.dur_us), pid,
+                 static_cast<unsigned long long>(e.tid));
+    if (!e.args_json.empty()) std::fprintf(f, ",\"args\":%s", e.args_json.c_str());
+    std::fputs("}", f);
+  }
+  std::fputs("\n]}\n", f);
+  const bool ok = std::fclose(f) == 0;
+  if (!ok) log_warn("telem", "error closing phase trace '%s'", path_.c_str());
+  return ok;
+}
+
+PhaseSpan::PhaseSpan(const char* name, std::string args_json)
+    : name_(name), args_(std::move(args_json)) {
+  PhaseTracer& tracer = PhaseTracer::shared();
+  if (tracer.enabled()) {
+    active_ = true;
+    t0_ = tracer.now_us();
+  }
+}
+
+PhaseSpan::~PhaseSpan() {
+  if (!active_) return;
+  PhaseTracer& tracer = PhaseTracer::shared();
+  const std::uint64_t t1 = tracer.now_us();
+  tracer.record(name_, t0_, t1 >= t0_ ? t1 - t0_ : 0, std::move(args_));
+}
+
+}  // namespace dwarn::telem

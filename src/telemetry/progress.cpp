@@ -1,0 +1,130 @@
+#include "telemetry/progress.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/json.hpp"
+#include "common/log.hpp"
+
+namespace dwarn::telem {
+
+namespace {
+
+std::int64_t steady_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string fmt_wall_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", ms);
+  return buf;
+}
+
+}  // namespace
+
+ProgressWriter::~ProgressWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool ProgressWriter::open(const std::string& path) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    log_warn("telem", "cannot open progress file '%s'; progress events disabled",
+             path.c_str());
+    return false;
+  }
+  epoch_us_ = steady_us();
+  return true;
+}
+
+double ProgressWriter::wall_ms() const {
+  return static_cast<double>(steady_us() - epoch_us_) / 1000.0;
+}
+
+void ProgressWriter::write_line(const std::string& line) {
+  if (fd_ < 0) return;
+  // One write() per '\n'-terminated line: O_APPEND makes the append
+  // atomic for sizes below PIPE_BUF, so a concurrent tail never reads an
+  // interleaved line — only, at worst, a torn final one.
+  const std::string buf = line + "\n";
+  const ssize_t n = ::write(fd_, buf.data(), buf.size());
+  (void)n;  // progress is best-effort telemetry; a short write only costs a line
+}
+
+void ProgressWriter::event_start(std::size_t shard, std::size_t shards,
+                                 std::size_t total) {
+  write_line("{\"ev\":\"start\",\"shard\":" + std::to_string(shard) +
+             ",\"shards\":" + std::to_string(shards) +
+             ",\"total\":" + std::to_string(total) + ",\"wall_ms\":" +
+             fmt_wall_ms(wall_ms()) + "}");
+}
+
+void ProgressWriter::event_run(std::size_t done, std::size_t total,
+                               std::uint64_t insts) {
+  write_line("{\"ev\":\"run\",\"done\":" + std::to_string(done) +
+             ",\"total\":" + std::to_string(total) +
+             ",\"insts\":" + std::to_string(insts) + ",\"wall_ms\":" +
+             fmt_wall_ms(wall_ms()) + "}");
+}
+
+void ProgressWriter::event_done(std::size_t done, std::size_t total,
+                                std::uint64_t insts) {
+  write_line("{\"ev\":\"done\",\"done\":" + std::to_string(done) +
+             ",\"total\":" + std::to_string(total) +
+             ",\"insts\":" + std::to_string(insts) + ",\"wall_ms\":" +
+             fmt_wall_ms(wall_ms()) + "}");
+}
+
+std::optional<ProgressEvent> parse_progress_line(std::string_view line) {
+  try {
+    const json::Value v = json::parse(line);
+    if (!v.is_object()) return std::nullopt;
+    ProgressEvent ev;
+    const json::Value* name = v.find("ev");
+    if (name == nullptr || !name->is_string()) return std::nullopt;
+    ev.ev = name->as_string();
+    if (ev.ev != "start" && ev.ev != "run" && ev.ev != "done") return std::nullopt;
+    const auto num = [&](const char* key) -> double {
+      const json::Value* f = v.find(key);
+      return f != nullptr && f->is_number() ? f->as_number() : 0.0;
+    };
+    ev.shard = static_cast<std::size_t>(num("shard"));
+    ev.shards = static_cast<std::size_t>(num("shards"));
+    ev.done = static_cast<std::size_t>(num("done"));
+    ev.total = static_cast<std::size_t>(num("total"));
+    ev.insts = static_cast<std::uint64_t>(num("insts"));
+    ev.wall_ms = num("wall_ms");
+    return ev;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<ProgressEvent> read_progress(const std::string& path) {
+  std::vector<ProgressEvent> events;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return events;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn final line: ignore
+    const std::string_view line(text.data() + pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    if (const auto ev = parse_progress_line(line)) events.push_back(*ev);
+  }
+  return events;
+}
+
+}  // namespace dwarn::telem

@@ -1,0 +1,72 @@
+// Streaming per-shard progress events (the status plane's wire format).
+//
+// A worker executing a shard appends one JSON line per event to its
+// PROGRESS_<bench>.shardKofN.jsonl file:
+//
+//   {"ev":"start","shard":2,"shards":3,"total":24,"wall_ms":0.0}
+//   {"ev":"run","done":5,"total":24,"insts":1234567,"wall_ms":831.2}
+//   {"ev":"done","done":24,"total":24,"insts":59321876,"wall_ms":4012.7}
+//
+// Each line is emitted with a single O_APPEND write() well under
+// PIPE_BUF, so concurrent attempts and a tailing reader never see an
+// interleaved line — at worst a *torn final line* (a writer mid-write),
+// which read_progress tolerates by ignoring any trailing text without a
+// newline. The file is opened in append mode and survives retries: a
+// shard's attempt count is simply its number of "start" events.
+// wall_ms is host wall clock since the writer opened — telemetry-only
+// data, never snapshot bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dwarn::telem {
+
+struct ProgressEvent {
+  std::string ev;            ///< "start" | "run" | "done"
+  std::size_t shard = 0;     ///< start only (1-based)
+  std::size_t shards = 0;    ///< start only
+  std::size_t done = 0;
+  std::size_t total = 0;
+  std::uint64_t insts = 0;   ///< cumulative committed instructions
+  double wall_ms = 0.0;      ///< since the writer opened
+};
+
+/// Appends progress events to a JSONL file. Default-constructed inert:
+/// every event_* call is a no-op until open() succeeds.
+class ProgressWriter {
+ public:
+  ProgressWriter() = default;
+  ~ProgressWriter();
+  ProgressWriter(const ProgressWriter&) = delete;
+  ProgressWriter& operator=(const ProgressWriter&) = delete;
+
+  /// Open `path` in append mode (creating it); false + stderr warning on
+  /// failure. Also starts the writer's wall clock.
+  bool open(const std::string& path);
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+
+  void event_start(std::size_t shard, std::size_t shards, std::size_t total);
+  void event_run(std::size_t done, std::size_t total, std::uint64_t insts);
+  void event_done(std::size_t done, std::size_t total, std::uint64_t insts);
+
+ private:
+  void write_line(const std::string& line);
+  [[nodiscard]] double wall_ms() const;
+
+  int fd_ = -1;
+  std::int64_t epoch_us_ = 0;  ///< steady-clock µs at open
+};
+
+/// Parse one complete line; nullopt on malformed input.
+[[nodiscard]] std::optional<ProgressEvent> parse_progress_line(std::string_view line);
+
+/// Read every complete event line of `path`. A trailing partial line
+/// (no '\n' — a writer caught mid-append) is ignored, as are blank or
+/// unparseable lines; a missing file reads as empty.
+[[nodiscard]] std::vector<ProgressEvent> read_progress(const std::string& path);
+
+}  // namespace dwarn::telem

@@ -1,0 +1,103 @@
+#include "telemetry/telemetry.hpp"
+
+#include <cstdlib>
+
+#include "common/env.hpp"
+#include "common/log.hpp"
+
+namespace dwarn::telem {
+
+bool telemetry_enabled() { return env_u64("SMT_TELEM", 0, 1).value_or(0) == 1; }
+
+std::uint64_t telemetry_interval() {
+  return env_u64("SMT_TELEM_INTERVAL", 64, 1ull << 30).value_or(8192);
+}
+
+std::size_t telemetry_ring_capacity() {
+  return env_u64("SMT_TELEM_RING", 16, 1ull << 20).value_or(4096);
+}
+
+namespace {
+
+std::string shard_suffix(std::size_t shard_index, std::size_t shard_count) {
+  if (shard_count == 0) return "";
+  return ".shard" + std::to_string(shard_index) + "of" + std::to_string(shard_count);
+}
+
+}  // namespace
+
+std::string intervals_filename(std::string_view bench, std::size_t shard_index,
+                               std::size_t shard_count) {
+  return "TELEM_" + std::string(bench) + shard_suffix(shard_index, shard_count) +
+         ".intervals.jsonl";
+}
+
+std::string trace_filename(std::string_view bench, std::size_t shard_index,
+                           std::size_t shard_count) {
+  return "TELEM_" + std::string(bench) + shard_suffix(shard_index, shard_count) +
+         ".trace.json";
+}
+
+std::string progress_filename(std::string_view bench, std::size_t shard_index,
+                              std::size_t shard_count) {
+  return "PROGRESS_" + std::string(bench) + shard_suffix(shard_index, shard_count) +
+         ".jsonl";
+}
+
+std::string telem_json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+IntervalSink& IntervalSink::shared() {
+  static IntervalSink sink;
+  return sink;
+}
+
+bool IntervalSink::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    log_warn("telem", "cannot open interval sink '%s'; interval telemetry disabled",
+             path.c_str());
+    return false;
+  }
+  return true;
+}
+
+void IntervalSink::append(std::string_view line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+void IntervalSink::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+}  // namespace dwarn::telem

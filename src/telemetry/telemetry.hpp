@@ -1,0 +1,77 @@
+// Telemetry configuration and the per-run interval sink.
+//
+// The telemetry layer (interval counters, phase traces, progress events)
+// is strictly out-of-band with respect to the bit-identical snapshot
+// contract: it observes the simulation, never steers it, and everything
+// it writes lands in TELEM_*/PROGRESS_* files — wall-clock and other
+// host-specific fields are allowed there and only there, never in
+// BENCH_*.json. With SMT_TELEM unset the hot path compiles to the
+// telemetry-free tick loop and no file is touched.
+//
+// Knobs (hardened parsing via env_u64 — a typo warns and keeps the
+// default):
+//   SMT_TELEM           1 enables the whole layer (default 0)
+//   SMT_TELEM_INTERVAL  cycles per interval sample (default 8192)
+//   SMT_TELEM_RING      preallocated samples per run before the ring
+//                       decimates to a coarser interval (default 4096)
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace dwarn::telem {
+
+/// SMT_TELEM=1. Read per call (cheap: once per run construction), so
+/// tests can toggle the environment between runs.
+[[nodiscard]] bool telemetry_enabled();
+
+/// SMT_TELEM_INTERVAL in [64, 2^30] cycles.
+[[nodiscard]] std::uint64_t telemetry_interval();
+
+/// SMT_TELEM_RING in [16, 2^20] samples.
+[[nodiscard]] std::size_t telemetry_ring_capacity();
+
+/// Telemetry file names, shard-qualified so concurrent workers sharing an
+/// out-dir never collide: TELEM_<bench>[.shardKofN].intervals.jsonl etc.
+/// shard_count == 0 means unsharded (no qualifier).
+[[nodiscard]] std::string intervals_filename(std::string_view bench,
+                                             std::size_t shard_index = 0,
+                                             std::size_t shard_count = 0);
+[[nodiscard]] std::string trace_filename(std::string_view bench,
+                                         std::size_t shard_index = 0,
+                                         std::size_t shard_count = 0);
+[[nodiscard]] std::string progress_filename(std::string_view bench,
+                                            std::size_t shard_index = 0,
+                                            std::size_t shard_count = 0);
+
+/// Minimal JSON string escaping for telemetry emitters (the analysis
+/// parser on the read side is strict, so the write side must be too).
+[[nodiscard]] std::string telem_json_escape(std::string_view s);
+
+/// Process-global JSONL sink for per-run interval records. The engine
+/// appends one line per finished run; with the sink closed (telemetry
+/// off) every append is a no-op. Appends take a mutex — interval lines
+/// land in worker-completion order, which is explicitly not deterministic
+/// (the reader aggregates by run identity, not by line order).
+class IntervalSink {
+ public:
+  static IntervalSink& shared();
+
+  /// Open (truncate) `path`; false + stderr warning on failure.
+  bool open(const std::string& path);
+  [[nodiscard]] bool is_open() const { return file_ != nullptr; }
+  void append(std::string_view line);
+  void close();
+
+  ~IntervalSink() { close(); }
+
+ private:
+  IntervalSink() = default;
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace dwarn::telem

@@ -1,6 +1,7 @@
 #include "trace/trace_cache.hpp"
 
 #include "common/env.hpp"
+#include "telemetry/phase_trace.hpp"
 
 namespace dwarn {
 
@@ -74,6 +75,9 @@ std::shared_ptr<const MaterializedTrace> TraceCache::acquire(const BenchmarkProf
 
   std::shared_ptr<const MaterializedTrace> built;
   try {
+    telem::PhaseSpan span("materialize",
+                          "{\"bench\":\"" + std::string(prof.name) +
+                              "\",\"insts\":" + std::to_string(min_insts) + "}");
     built = grow_base
                 ? std::make_shared<const MaterializedTrace>(*grow_base, min_insts)
                 : std::make_shared<const MaterializedTrace>(prof, tid, seed, min_insts);

@@ -18,13 +18,15 @@ endif()
 file(REMOVE_RECURSE "${WORK_DIR}")
 file(MAKE_DIRECTORY "${WORK_DIR}")
 
+# Captures stdout+stderr combined: results go to stdout, but the
+# scheduler's dispatch/retry lines come from the leveled stderr logger.
 function(run_checked out_var)
   execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
                   OUTPUT_VARIABLE out ERROR_VARIABLE err)
   if(NOT rc EQUAL 0)
     message(FATAL_ERROR "command failed (${rc}): ${ARGN}\n${out}\n${err}")
   endif()
-  set(${out_var} "${out}" PARENT_SCOPE)
+  set(${out_var} "${out}\n${err}" PARENT_SCOPE)
 endfunction()
 
 # The single-process reference snapshot.
@@ -42,12 +44,16 @@ endif()
 
 # The orchestrated sweep: 3 shards over 2 subprocess workers, shard 2's
 # first attempt killed mid-run by the env fault hook. The sweep must
-# retry it and still converge.
+# retry it and still converge. Telemetry is on for this leg — the status
+# plane must stream per-shard progress without perturbing a single
+# snapshot byte (the reference run above had telemetry off).
 set(ENV{SMT_ORCH_FAULT_KILL} 2)
+set(ENV{SMT_TELEM} 1)
 run_checked(orch_out "${SMT_ORCHESTRATE}" run --grid fig1 --shards 3 --jobs 2
             --retries 2 --backoff-ms 50 --out-dir "${WORK_DIR}/orch"
             --smt-shard "${SMT_SHARD}")
 unset(ENV{SMT_ORCH_FAULT_KILL})
+unset(ENV{SMT_TELEM})
 
 if(NOT orch_out MATCHES "FAILED \\(killed by signal")
   message(FATAL_ERROR "the injected worker kill did not surface:\n${orch_out}")
@@ -69,11 +75,60 @@ if(NOT same EQUAL 0)
                       "${WORK_DIR}/single/BENCH_fig1.json)")
 endif()
 
+# The status plane: every shard streamed start..done progress events into
+# its own PROGRESS file. (The killed attempt may die before its start
+# event lands — the fault hook SIGKILLs right after fork — so only the
+# surviving attempt is guaranteed a start.)
+foreach(k RANGE 1 3)
+  set(progress "${WORK_DIR}/orch/PROGRESS_fig1.shard${k}of3.jsonl")
+  if(NOT EXISTS "${progress}")
+    message(FATAL_ERROR "worker shard ${k} wrote no progress file: ${progress}")
+  endif()
+  file(READ "${progress}" progress_text)
+  if(NOT progress_text MATCHES "\"ev\":\"start\"")
+    message(FATAL_ERROR "no start event in ${progress}:\n${progress_text}")
+  endif()
+  if(NOT progress_text MATCHES "\"ev\":\"done\"")
+    message(FATAL_ERROR "no done event in ${progress}:\n${progress_text}")
+  endif()
+endforeach()
+# The orchestrator's own phase trace must be valid Chrome trace JSON with
+# a dispatch span.
+set(trace "${WORK_DIR}/orch/TELEM_fig1.trace.json")
+if(NOT EXISTS "${trace}")
+  message(FATAL_ERROR "orchestrator wrote no phase trace: ${trace}")
+endif()
+file(READ "${trace}" trace_text)
+if(NOT trace_text MATCHES "\"traceEvents\"" OR NOT trace_text MATCHES "\"name\":\"dispatch\"")
+  message(FATAL_ERROR "phase trace is missing the dispatch span:\n${trace_text}")
+endif()
+
 # status must agree: every fragment ok, merged snapshot present, exit 0.
 run_checked(status_out "${SMT_ORCHESTRATE}" status --grid fig1 --shards 3
             --out-dir "${WORK_DIR}/orch")
 if(NOT status_out MATCHES "3/3 fragments complete")
   message(FATAL_ERROR "status does not report a complete sweep:\n${status_out}")
+endif()
+if(NOT status_out MATCHES "attempt")
+  message(FATAL_ERROR "status table lost its progress columns:\n${status_out}")
+endif()
+
+# ...and the machine-readable view: same facts as JSON, with the
+# per-shard progress fields folded in.
+run_checked(status_json "${SMT_ORCHESTRATE}" status --grid fig1 --shards 3
+            --out-dir "${WORK_DIR}/orch" --json)
+if(NOT status_json MATCHES "\"complete\": 3" OR NOT status_json MATCHES "\"present\": true")
+  message(FATAL_ERROR "status --json does not report completion:\n${status_json}")
+endif()
+if(NOT status_json MATCHES "\"attempts\": " OR NOT status_json MATCHES "\"worker_done\": true")
+  message(FATAL_ERROR "status --json lost the progress fields:\n${status_json}")
+endif()
+
+# --follow on a finished sweep renders once and exits 0 immediately.
+run_checked(follow_out "${SMT_ORCHESTRATE}" status --grid fig1 --shards 3
+            --out-dir "${WORK_DIR}/orch" --follow --poll-ms 50 --timeout-sec 30)
+if(NOT follow_out MATCHES "3/3 fragments complete")
+  message(FATAL_ERROR "status --follow did not converge:\n${follow_out}")
 endif()
 
 # ...and as a gate, it must exit nonzero for an incomplete sweep.

@@ -1,0 +1,99 @@
+# ctest driver: the telemetry determinism contract, end to end at the CLI.
+#
+# For the registry's "fixture" grid, `smt_shard run` must produce a
+# byte-identical BENCH snapshot with telemetry off (the default), with
+# SMT_TELEM=1, and across SMT_TELEM_INTERVAL settings — sampling observes
+# counters, it never steers the simulation. Telemetry-on runs must emit
+# the out-of-band files (PROGRESS_*.jsonl, TELEM_*.intervals.jsonl,
+# TELEM_*.trace.json); telemetry-off runs must emit none. The sharded
+# run+merge path obeys the same contract with shard-qualified telemetry
+# names. Invoked as
+#   cmake -DSMT_SHARD=<path-to-smt_shard> -DWORK_DIR=<scratch> -P telemetry_roundtrip.cmake
+
+if(NOT DEFINED SMT_SHARD OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DSMT_SHARD=... -DWORK_DIR=... -P telemetry_roundtrip.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_checked)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+endfunction()
+
+function(compare_or_die a b what)
+  execute_process(COMMAND "${CMAKE_COMMAND}" -E compare_files "${a}" "${b}"
+                  RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR "${what}: '${b}' is NOT byte-identical to '${a}'")
+  endif()
+  message(STATUS "${what}: byte-identical")
+endfunction()
+
+function(require what path)
+  if(NOT EXISTS "${path}")
+    message(FATAL_ERROR "${what}: expected file missing: ${path}")
+  endif()
+endfunction()
+
+function(forbid what path)
+  if(EXISTS "${path}")
+    message(FATAL_ERROR "${what}: file must not exist with telemetry off: ${path}")
+  endif()
+endfunction()
+
+# Reference: telemetry off (default), single process. No telemetry files.
+run_checked("${CMAKE_COMMAND}" -E env SMT_TELEM=0
+            "${SMT_SHARD}" run --bench fixture --out "${WORK_DIR}/off")
+set(ref "${WORK_DIR}/off/BENCH_fixture.json")
+forbid("telemetry off" "${WORK_DIR}/off/PROGRESS_fixture.jsonl")
+forbid("telemetry off" "${WORK_DIR}/off/TELEM_fixture.intervals.jsonl")
+forbid("telemetry off" "${WORK_DIR}/off/TELEM_fixture.trace.json")
+
+# Telemetry on, two different sampling intervals: the snapshot must not
+# move by a byte, and the out-of-band files must appear.
+foreach(interval 256 2048)
+  set(dir "${WORK_DIR}/on-i${interval}")
+  run_checked("${CMAKE_COMMAND}" -E env SMT_TELEM=1 SMT_TELEM_INTERVAL=${interval}
+              "${SMT_SHARD}" run --bench fixture --out "${dir}")
+  compare_or_die("${ref}" "${dir}/BENCH_fixture.json"
+                 "SMT_TELEM=1 SMT_TELEM_INTERVAL=${interval}")
+  require("interval ${interval}" "${dir}/PROGRESS_fixture.jsonl")
+  require("interval ${interval}" "${dir}/TELEM_fixture.intervals.jsonl")
+  require("interval ${interval}" "${dir}/TELEM_fixture.trace.json")
+  file(READ "${dir}/PROGRESS_fixture.jsonl" progress_text)
+  if(NOT progress_text MATCHES "\"ev\":\"start\"" OR NOT progress_text MATCHES "\"ev\":\"done\"")
+    message(FATAL_ERROR "progress stream is missing start/done events:\n${progress_text}")
+  endif()
+  file(READ "${dir}/TELEM_fixture.trace.json" trace_text)
+  if(NOT trace_text MATCHES "\"traceEvents\"" OR NOT trace_text MATCHES "\"name\":\"simulate\"")
+    message(FATAL_ERROR "phase trace is missing simulate spans:\n${trace_text}")
+  endif()
+  file(READ "${dir}/TELEM_fixture.intervals.jsonl" intervals_text)
+  if(NOT intervals_text MATCHES "\"interval_cycles\"")
+    message(FATAL_ERROR "interval file has no sample series:\n${intervals_text}")
+  endif()
+endforeach()
+
+# Sharded run+merge with telemetry on: merged snapshot byte-identical to
+# the telemetry-off single-process reference; telemetry files carry the
+# shard qualifier so concurrent workers sharing an out-dir never collide.
+set(dir "${WORK_DIR}/sharded")
+set(fragments "")
+foreach(k RANGE 1 2)
+  run_checked("${CMAKE_COMMAND}" -E env SMT_TELEM=1 SMT_TELEM_INTERVAL=256
+              "${SMT_SHARD}" run --bench fixture --shard ${k}/2 --out "${dir}")
+  list(APPEND fragments "${dir}/BENCH_fixture.shard${k}of2.json")
+  require("shard ${k}" "${dir}/PROGRESS_fixture.shard${k}of2.jsonl")
+  require("shard ${k}" "${dir}/TELEM_fixture.shard${k}of2.intervals.jsonl")
+  require("shard ${k}" "${dir}/TELEM_fixture.shard${k}of2.trace.json")
+endforeach()
+run_checked("${CMAKE_COMMAND}" -E env SMT_TELEM=1
+            "${SMT_SHARD}" merge ${fragments} --out "${dir}/merged.json")
+compare_or_die("${ref}" "${dir}/merged.json" "SMT_TELEM=1, 2 shards merged")
+
+message(STATUS "telemetry on/off and across intervals: snapshots bitwise-stable")

@@ -1,0 +1,352 @@
+// Unit tests: the telemetry plane — interval sampler ring decimation and
+// restart semantics, the interval JSONL round-trip through the analysis
+// reader, progress writer/parser round-trips (including a torn final
+// line), Chrome trace-event JSON validity, the leveled logger, the
+// filename/knob helpers — and the determinism contract: a simulated run's
+// counters are identical with telemetry off, on, and across sampling
+// intervals (sampling observes, never steers).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/intervals.hpp"
+#include "analysis/json.hpp"
+#include "common/log.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/counter_sampler.hpp"
+#include "telemetry/phase_trace.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace dwarn {
+namespace {
+
+std::filesystem::path temp_dir() {
+  const auto dir = std::filesystem::temp_directory_path() / "dwarn_telem_test";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// ---- CounterSampler ----------------------------------------------------------
+
+telem::IntervalSample& push_sample(telem::CounterSampler& s, Cycle cycle,
+                                   std::uint64_t committed) {
+  telem::IntervalSample& rec = s.begin_sample(cycle);
+  rec.num_threads = 1;
+  rec.committed[0] = committed;
+  return rec;
+}
+
+TEST(CounterSampler, SamplesAtIntervalAndKeepsCumulativeValues) {
+  telem::CounterSampler s(100, 16);
+  EXPECT_EQ(s.next_at(), 100u);
+  push_sample(s, 100, 50);
+  EXPECT_EQ(s.next_at(), 200u);
+  push_sample(s, 200, 120);
+  ASSERT_EQ(s.samples().size(), 2u);
+  EXPECT_EQ(s.samples()[0].cycle, 100u);
+  EXPECT_EQ(s.samples()[1].committed[0], 120u);
+  EXPECT_EQ(s.interval(), 100u);
+}
+
+TEST(CounterSampler, DecimationKeepsOddIndicesAndDoublesInterval) {
+  telem::CounterSampler s(10, 4);
+  for (int i = 1; i <= 4; ++i) {
+    push_sample(s, static_cast<Cycle>(10 * i), static_cast<std::uint64_t>(i));
+  }
+  ASSERT_EQ(s.samples().size(), 4u);
+  EXPECT_EQ(s.interval(), 10u);
+  // The 5th sample overflows capacity: every second sample drops, the
+  // interval doubles, and the new sample lands after the survivors.
+  push_sample(s, 50, 5);
+  ASSERT_EQ(s.samples().size(), 3u);
+  EXPECT_EQ(s.interval(), 20u);
+  EXPECT_EQ(s.samples()[0].cycle, 20u);   // former odd index 1
+  EXPECT_EQ(s.samples()[1].cycle, 40u);   // former odd index 3
+  EXPECT_EQ(s.samples()[2].cycle, 50u);   // the new sample
+  EXPECT_EQ(s.next_at(), 70u);            // 50 + doubled interval
+  // Cumulative values survive decimation untouched: the series is the
+  // same run, just coarser.
+  EXPECT_EQ(s.samples()[0].committed[0], 2u);
+  EXPECT_EQ(s.samples()[1].committed[0], 4u);
+}
+
+TEST(CounterSampler, RestartClearsAndReturnsToBaseInterval) {
+  telem::CounterSampler s(10, 4);
+  for (int i = 1; i <= 5; ++i) {
+    push_sample(s, static_cast<Cycle>(10 * i), static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(s.interval(), 20u);
+  s.restart(1000);
+  EXPECT_TRUE(s.samples().empty());
+  EXPECT_EQ(s.interval(), s.base_interval());
+  EXPECT_EQ(s.next_at(), 1010u);
+}
+
+TEST(CounterSampler, IntervalJsonLineRoundTripsThroughAnalysisReader) {
+  telem::CounterSampler s(64, 8);
+  telem::IntervalSample& a = push_sample(s, 64, 40);
+  a.num_threads = 2;
+  a.committed[1] = 30;
+  a.fetched = 100;
+  a.dmiss = 7;
+  a.l2miss = 3;
+  a.flush_events = 1;
+  a.squashed_flush = 12;
+  a.iq[0] = 5;
+  a.iq[2] = 9;
+  a.window[0] = 17;
+  a.window[1] = 21;
+  telem::IntervalSample& b = push_sample(s, 128, 90);
+  b.num_threads = 2;
+  b.committed[1] = 60;
+  b.fetched = 230;
+  b.dmiss = 11;
+  b.l2miss = 4;
+
+  const telem::IntervalRunId id{"baseline", "2-MEM", "DWarn", "t1", 7};
+  const std::string line = telem::interval_json_line(id, s);
+  const auto path = (temp_dir() / "roundtrip.intervals.jsonl").string();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << line << "\n";
+  }
+  const auto series = analysis::load_interval_series(path);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_EQ(series[0].id.workload, "2-MEM");
+  EXPECT_EQ(series[0].id.policy, "DWarn");
+  EXPECT_EQ(series[0].id.tag, "t1");
+  EXPECT_EQ(series[0].id.seed, 7u);
+  EXPECT_EQ(series[0].interval_cycles, 64u);
+  ASSERT_EQ(series[0].samples.size(), 2u);
+  EXPECT_EQ(series[0].samples[0].committed[1], 30u);
+  EXPECT_EQ(series[0].samples[1].fetched, 230u);
+  EXPECT_EQ(series[0].samples[0].iq[2], 9u);
+  EXPECT_EQ(series[0].samples[0].window[1], 21u);
+
+  // Derived counters: IPC over the one gap is Δcommitted/Δcycle.
+  const auto ipc = analysis::interval_counter_values(series[0], "ipc");
+  ASSERT_EQ(ipc.size(), 1u);
+  EXPECT_NEAR(ipc[0], (90.0 + 60.0 - 40.0 - 30.0) / 64.0, 1e-12);
+  const auto window = analysis::interval_counter_values(series[0], "window");
+  ASSERT_EQ(window.size(), 2u);
+  EXPECT_DOUBLE_EQ(window[0], 38.0);
+  EXPECT_THROW(analysis::interval_counter_values(series[0], "nope"), std::runtime_error);
+}
+
+// ---- progress protocol -------------------------------------------------------
+
+TEST(Progress, WriterReaderRoundTrip) {
+  const auto path = (temp_dir() / "roundtrip.progress.jsonl").string();
+  std::filesystem::remove(path);
+  {
+    telem::ProgressWriter w;
+    ASSERT_TRUE(w.open(path));
+    w.event_start(2, 3, 24);
+    w.event_run(5, 24, 123456);
+    w.event_done(24, 24, 999999);
+  }
+  const auto events = telem::read_progress(path);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].ev, "start");
+  EXPECT_EQ(events[0].shard, 2u);
+  EXPECT_EQ(events[0].shards, 3u);
+  EXPECT_EQ(events[0].total, 24u);
+  EXPECT_EQ(events[1].ev, "run");
+  EXPECT_EQ(events[1].done, 5u);
+  EXPECT_EQ(events[1].insts, 123456u);
+  EXPECT_EQ(events[2].ev, "done");
+  EXPECT_GE(events[2].wall_ms, events[0].wall_ms);
+}
+
+TEST(Progress, AppendModeAccumulatesAcrossAttempts) {
+  const auto path = (temp_dir() / "retry.progress.jsonl").string();
+  std::filesystem::remove(path);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    telem::ProgressWriter w;
+    ASSERT_TRUE(w.open(path));
+    w.event_start(1, 1, 4);
+  }
+  const auto events = telem::read_progress(path);
+  ASSERT_EQ(events.size(), 2u);  // attempt count = number of start events
+  EXPECT_EQ(events[1].ev, "start");
+}
+
+TEST(Progress, TornFinalLineIsIgnored) {
+  const auto path = (temp_dir() / "torn.progress.jsonl").string();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << R"({"ev":"start","shard":1,"shards":1,"total":4,"wall_ms":0.0})" << "\n";
+    out << R"({"ev":"run","done":2,"total":4,"ins)";  // writer caught mid-append
+  }
+  const auto events = telem::read_progress(path);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ev, "start");
+}
+
+TEST(Progress, MalformedCompleteLinesAreSkippedAndMissingFileIsEmpty) {
+  const auto path = (temp_dir() / "junk.progress.jsonl").string();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "not json\n";
+    out << R"({"ev":"bogus"})" << "\n";
+    out << R"({"ev":"done","done":4,"total":4,"insts":1,"wall_ms":9.5})" << "\n";
+  }
+  const auto events = telem::read_progress(path);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ev, "done");
+  EXPECT_DOUBLE_EQ(events[0].wall_ms, 9.5);
+  EXPECT_TRUE(telem::read_progress((temp_dir() / "absent.jsonl").string()).empty());
+  EXPECT_FALSE(telem::parse_progress_line("[]").has_value());
+  EXPECT_FALSE(telem::parse_progress_line("").has_value());
+}
+
+// ---- phase trace -------------------------------------------------------------
+
+TEST(PhaseTrace, FlushWritesValidChromeTraceJson) {
+  const auto path = (temp_dir() / "trace.json").string();
+  telem::PhaseTracer& tracer = telem::PhaseTracer::shared();
+  tracer.enable(path);
+  tracer.record("simulate", 10, 25, R"({"workload":"2-MEM","seed":1})");
+  tracer.record("merge", 40, 5);
+  { telem::PhaseSpan span("serialize"); }
+  EXPECT_EQ(tracer.event_count(), 3u);
+  ASSERT_TRUE(tracer.flush());
+
+  std::ifstream in(path, std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const json::Value doc = json::parse(text);  // throws on malformed output
+  const json::Array& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].at("name").as_string(), "simulate");
+  EXPECT_EQ(events[0].at("ph").as_string(), "X");
+  EXPECT_EQ(events[0].at("ts").as_number(), 10.0);
+  EXPECT_EQ(events[0].at("dur").as_number(), 25.0);
+  EXPECT_EQ(events[0].at("args").at("workload").as_string(), "2-MEM");
+  EXPECT_EQ(events[1].at("name").as_string(), "merge");
+  EXPECT_EQ(events[1].find("args"), nullptr);
+}
+
+// ---- logger ------------------------------------------------------------------
+
+TEST(Log, LevelNamesRoundTrip) {
+  EXPECT_EQ(log_level_from_name("debug"), LogLevel::Debug);
+  EXPECT_EQ(log_level_from_name("info"), LogLevel::Info);
+  EXPECT_EQ(log_level_from_name("warn"), LogLevel::Warn);
+  EXPECT_FALSE(log_level_from_name("loud").has_value());
+  EXPECT_EQ(to_string(LogLevel::Warn), "warn");
+}
+
+TEST(Log, ThresholdGatesLevels) {
+  const LogLevel before = log_threshold();
+  set_log_threshold(LogLevel::Warn);
+  EXPECT_FALSE(log_enabled(LogLevel::Debug));
+  EXPECT_FALSE(log_enabled(LogLevel::Info));
+  EXPECT_TRUE(log_enabled(LogLevel::Warn));
+  set_log_threshold(LogLevel::Debug);
+  EXPECT_TRUE(log_enabled(LogLevel::Info));
+  set_log_threshold(before);
+}
+
+TEST(Log, PrefixCarriesTimestampThreadAndLevel) {
+  const std::string p = log_prefix(LogLevel::Info, "orch");
+  // "[HH:MM:SS.mmm t=xxxxxx info] orch: "
+  ASSERT_GE(p.size(), 10u);
+  EXPECT_EQ(p.front(), '[');
+  EXPECT_NE(p.find(" t="), std::string::npos);
+  EXPECT_NE(p.find(" info] orch: "), std::string::npos);
+}
+
+// ---- config / filenames ------------------------------------------------------
+
+TEST(TelemetryConfig, FilenamesQualifyShards) {
+  EXPECT_EQ(telem::intervals_filename("fig1"), "TELEM_fig1.intervals.jsonl");
+  EXPECT_EQ(telem::intervals_filename("fig1", 2, 3),
+            "TELEM_fig1.shard2of3.intervals.jsonl");
+  EXPECT_EQ(telem::trace_filename("fig1", 1, 4), "TELEM_fig1.shard1of4.trace.json");
+  EXPECT_EQ(telem::progress_filename("fig1"), "PROGRESS_fig1.jsonl");
+  EXPECT_EQ(telem::progress_filename("fig1", 3, 3), "PROGRESS_fig1.shard3of3.jsonl");
+}
+
+TEST(TelemetryConfig, EnvKnobsAreReadFreshAndHardened) {
+  ::unsetenv("SMT_TELEM");
+  EXPECT_FALSE(telem::telemetry_enabled());
+  ::setenv("SMT_TELEM", "1", 1);
+  EXPECT_TRUE(telem::telemetry_enabled());
+  ::setenv("SMT_TELEM", "0", 1);
+  EXPECT_FALSE(telem::telemetry_enabled());
+  ::setenv("SMT_TELEM_INTERVAL", "4096", 1);
+  EXPECT_EQ(telem::telemetry_interval(), 4096u);
+  ::setenv("SMT_TELEM_INTERVAL", "banana", 1);  // warns, keeps the default
+  EXPECT_EQ(telem::telemetry_interval(), 8192u);
+  ::unsetenv("SMT_TELEM_INTERVAL");
+  ::unsetenv("SMT_TELEM");
+}
+
+// ---- determinism contract ----------------------------------------------------
+
+/// Same machine, workload, policy and seed — only the telemetry knobs
+/// change. Every counter of the result must be bit-identical: sampling
+/// reads counters, it never steers the simulation.
+TEST(TelemetryDeterminism, CountersIdenticalAcrossTelemetrySettings) {
+  const WorkloadSpec workload = workload_by_name("2-MIX");
+  RunLength len;
+  len.warmup_insts = 500;
+  len.measure_insts = 3000;
+
+  const auto run_once = [&]() {
+    Simulator sim(baseline_machine(workload.num_threads()), workload,
+                  PolicyKind::DWarn, {}, 1, trace_window_insts(len));
+    return sim.run(len);
+  };
+
+  ::unsetenv("SMT_TELEM");
+  const SimResult off = run_once();
+
+  ::setenv("SMT_TELEM", "1", 1);
+  ::setenv("SMT_TELEM_INTERVAL", "128", 1);
+  const SimResult on_fine = run_once();
+  ::setenv("SMT_TELEM_INTERVAL", "1024", 1);
+  const SimResult on_coarse = run_once();
+  ::unsetenv("SMT_TELEM_INTERVAL");
+  ::unsetenv("SMT_TELEM");
+
+  EXPECT_EQ(off.cycles, on_fine.cycles);
+  EXPECT_EQ(off.cycles, on_coarse.cycles);
+  EXPECT_EQ(off.counters, on_fine.counters);
+  EXPECT_EQ(off.counters, on_coarse.counters);
+}
+
+/// With telemetry on, the simulator carries a sampler and its series
+/// covers the measurement window only (restarted at the stats reset).
+TEST(TelemetryDeterminism, SamplerCoversMeasurementWindow) {
+  const WorkloadSpec workload = workload_by_name("2-MIX");
+  RunLength len;
+  len.warmup_insts = 500;
+  len.measure_insts = 3000;
+
+  ::setenv("SMT_TELEM", "1", 1);
+  ::setenv("SMT_TELEM_INTERVAL", "128", 1);
+  Simulator sim(baseline_machine(workload.num_threads()), workload,
+                PolicyKind::DWarn, {}, 1, trace_window_insts(len));
+  const SimResult res = sim.run(len);
+  ::unsetenv("SMT_TELEM_INTERVAL");
+  ::unsetenv("SMT_TELEM");
+
+  ASSERT_NE(sim.sampler(), nullptr);
+  const auto& samples = sim.sampler()->samples();
+  ASSERT_FALSE(samples.empty());
+  // Cumulative counters in the last sample never exceed the run totals.
+  const auto& last = samples.back();
+  EXPECT_LE(last.fetched, res.counters.at("core.fetched"));
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GT(samples[i].cycle, samples[i - 1].cycle);
+    EXPECT_GE(samples[i].fetched, samples[i - 1].fetched);
+  }
+}
+
+}  // namespace
+}  // namespace dwarn

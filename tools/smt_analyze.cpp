@@ -11,6 +11,12 @@
 //          when any metric regressed beyond the tolerance (the CI
 //          trajectory gate)
 //
+// A fourth closes the loop around the telemetry plane:
+//
+//   intervals  aggregate TELEM_*.intervals.jsonl series (emitted by
+//              workers under SMT_TELEM=1) into per-cell summaries, a
+//              --counter time-series, or paired per-counter policy diffs
+//
 // Exit codes: 0 ok / no regression, 1 regression found or run failed,
 // 2 usage or I/O error.
 #include <algorithm>
@@ -23,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/intervals.hpp"
 #include "analysis/sample_stats.hpp"
 #include "analysis/seed_sweep.hpp"
 #include "analysis/trajectory.hpp"
@@ -61,11 +68,16 @@ int usage(const char* error = nullptr) {
   std::fprintf(stderr,
                "  smt_analyze stats <snapshot.json> [--metric throughput|cycles|flushed_frac]\n"
                "  smt_analyze diff <old.json> <new.json> [--tol PCT[%%]] [--all]\n"
+               "  smt_analyze intervals <TELEM_*.intervals.jsonl>...\n"
+               "      [--counter NAME] [--policies A,B]\n"
                "\n"
                "sweep runs the bench's grid across N seeds (default 8; SMT_SIM_INSTS/\n"
                "SMT_WARMUP_INSTS shrink each run) and prints mean +/- 95%% bootstrap CI\n"
                "per cell plus DWarn's paired per-seed improvement CIs. diff exits 1 when\n"
-               "a metric is worse than the tolerance (default 2%%).\n");
+               "a metric is worse than the tolerance (default 2%%). intervals summarizes\n"
+               "telemetry interval counters per (workload, policy); --counter prints the\n"
+               "per-interval time-series, --policies A,B the paired per-counter diff of\n"
+               "A relative to B.\n");
   return 2;
 }
 
@@ -231,6 +243,145 @@ int run_sweep(const SweepOptions& opt) {
   return 0;
 }
 
+// ---- intervals ---------------------------------------------------------------
+
+struct IntervalsOptions {
+  std::vector<std::string> paths;
+  std::string counter;                 ///< "" = summary over every counter
+  std::vector<std::string> policies;   ///< exactly 2 when set: paired diff
+};
+
+/// Pool the per-interval values of `counter` across every series of one
+/// (workload, policy) cell.
+using CellKey = std::pair<std::string, std::string>;  // (workload, policy)
+
+std::map<CellKey, std::vector<const analysis::IntervalSeries*>> group_by_cell(
+    const std::vector<analysis::IntervalSeries>& series) {
+  std::map<CellKey, std::vector<const analysis::IntervalSeries*>> cells;
+  for (const analysis::IntervalSeries& s : series) {
+    cells[{s.id.workload, s.id.policy}].push_back(&s);
+  }
+  return cells;
+}
+
+int run_intervals(const IntervalsOptions& opt) {
+  std::vector<analysis::IntervalSeries> series;
+  for (const std::string& path : opt.paths) {
+    for (analysis::IntervalSeries& s : analysis::load_interval_series(path)) {
+      series.push_back(std::move(s));
+    }
+  }
+  if (series.empty()) {
+    std::fprintf(stderr, "smt_analyze: no interval series in the given files "
+                         "(were the runs executed with SMT_TELEM=1?)\n");
+    return 1;
+  }
+
+  if (!opt.counter.empty() && !analysis::is_interval_counter(opt.counter)) {
+    std::string names;
+    for (const std::string& n : analysis::interval_counter_names()) {
+      names += (names.empty() ? "" : ", ") + n;
+    }
+    return usage(("unknown --counter (" + names + ")").c_str());
+  }
+
+  // Paired per-counter policy diff: mean-over-intervals per (workload,
+  // seed), A relative to B, summarized across seeds.
+  if (!opt.policies.empty()) {
+    if (opt.policies.size() != 2) return usage("--policies needs exactly A,B");
+    const std::string& pa = opt.policies[0];
+    const std::string& pb = opt.policies[1];
+    const auto counters = opt.counter.empty()
+                              ? analysis::interval_counter_names()
+                              : std::vector<std::string>{opt.counter};
+    // (workload, seed) -> series per policy
+    std::map<std::pair<std::string, std::uint64_t>,
+             std::pair<const analysis::IntervalSeries*, const analysis::IntervalSeries*>>
+        pairs;
+    for (const analysis::IntervalSeries& s : series) {
+      if (s.id.policy == pa) pairs[{s.id.workload, s.id.seed}].first = &s;
+      if (s.id.policy == pb) pairs[{s.id.workload, s.id.seed}].second = &s;
+    }
+    print_banner(std::cout, "interval counters — paired Δ% of " + pa + " vs " + pb);
+    ReportTable table({"workload", "counter", "n", "Δ% mean ± 95% CI"});
+    bool any = false;
+    std::map<std::pair<std::string, std::string>, std::vector<double>> diffs;
+    for (const auto& [key, pr] : pairs) {
+      if (pr.first == nullptr || pr.second == nullptr) continue;
+      for (const std::string& c : counters) {
+        const auto va = analysis::interval_counter_values(*pr.first, c);
+        const auto vb = analysis::interval_counter_values(*pr.second, c);
+        if (va.empty() || vb.empty()) continue;
+        const auto mean = [](const std::vector<double>& v) {
+          double sum = 0.0;
+          for (const double x : v) sum += x;
+          return sum / static_cast<double>(v.size());
+        };
+        const double ma = mean(va);
+        const double mb = mean(vb);
+        if (mb == 0.0) continue;
+        diffs[{key.first, c}].push_back((ma - mb) / mb * 100.0);
+      }
+    }
+    for (const auto& [key, values] : diffs) {
+      const analysis::SampleStats st = analysis::summarize(values);
+      table.add_row({key.first, key.second, std::to_string(st.n),
+                     fmt_signed_pct(st.mean) + " ± " + fmt(st.ci_halfwidth(), 2)});
+      any = true;
+    }
+    if (!any) {
+      std::fprintf(stderr,
+                   "smt_analyze: no (workload, seed) has interval series for both "
+                   "'%s' and '%s'\n",
+                   pa.c_str(), pb.c_str());
+      return 1;
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
+  // --counter: the per-interval time-series, long format (one row per
+  // interval), grouped by run identity.
+  if (!opt.counter.empty()) {
+    print_banner(std::cout, "interval time-series — " + opt.counter);
+    ReportTable table({"workload", "policy", "seed", "interval", "cycle", opt.counter});
+    for (const analysis::IntervalSeries& s : series) {
+      const std::vector<double> values =
+          analysis::interval_counter_values(s, opt.counter);
+      // Delta counters have samples-1 values; align each value with the
+      // sample that closes its interval.
+      const std::size_t offset = s.samples.size() - values.size();
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        table.add_row({s.id.workload, s.id.policy, std::to_string(s.id.seed),
+                       std::to_string(i),
+                       std::to_string(s.samples[i + offset].cycle), fmt(values[i], 3)});
+      }
+    }
+    table.print(std::cout);
+    return 0;
+  }
+
+  // Default: per-cell summary over every counter.
+  print_banner(std::cout, "interval counters — mean ± 95% CI per (workload, policy)");
+  ReportTable table({"workload", "policy", "counter", "n", "mean ± 95% CI", "min", "max"});
+  for (const auto& [key, cell] : group_by_cell(series)) {
+    for (const std::string& c : analysis::interval_counter_names()) {
+      std::vector<double> pooled;
+      for (const analysis::IntervalSeries* s : cell) {
+        for (const double v : analysis::interval_counter_values(*s, c)) {
+          pooled.push_back(v);
+        }
+      }
+      if (pooled.empty()) continue;
+      const analysis::SampleStats st = analysis::summarize(pooled);
+      table.add_row({key.first, key.second, c, std::to_string(st.n),
+                     analysis::fmt_mean_ci(st), fmt(st.min, 2), fmt(st.max, 2)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}
+
 int run_stats(const std::string& path, const std::string& metric_name) {
   analysis::RecordMetric metric;
   if (metric_name == "throughput") {
@@ -306,6 +457,25 @@ int main(int argc, char** argv) {
       }
       if (path.empty()) return usage("stats needs a snapshot path");
       return run_stats(path, metric);
+    }
+
+    if (cmd == "intervals") {
+      IntervalsOptions opt;
+      for (std::size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--counter" && i + 1 < args.size()) {
+          opt.counter = args[++i];
+        } else if (args[i] == "--policies" && i + 1 < args.size()) {
+          opt.policies = split_csv(args[++i]);
+        } else if (!args[i].starts_with("--")) {
+          opt.paths.push_back(args[i]);
+        } else {
+          return usage(("unknown intervals option '" + args[i] + "'").c_str());
+        }
+      }
+      if (opt.paths.empty()) {
+        return usage("intervals needs at least one TELEM_*.intervals.jsonl path");
+      }
+      return run_intervals(opt);
     }
 
     if (cmd == "diff") {

@@ -10,8 +10,13 @@
 //           exits without running anything.
 //   status  inspect an out-dir against the plan: which fragments exist
 //           and validate, which are missing or stale, whether the merged
-//           snapshot is present. Exits nonzero unless the sweep is fully
-//           complete, so it doubles as a pipeline gate.
+//           snapshot is present — plus, when workers streamed progress
+//           events (SMT_TELEM=1), each shard's live run count, attempt
+//           number, throughput and ETA. --json emits the same status as
+//           one JSON object; --follow re-renders the table every poll
+//           interval until the sweep completes (or --timeout-sec). Exits
+//           nonzero unless the sweep is fully complete, so it doubles as
+//           a pipeline gate.
 //
 // The orchestrated result is bitwise-identical to the single-process
 // `smt_shard run --bench <grid>` of the same grid and environment — the
@@ -30,17 +35,22 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/trajectory.hpp"
 #include "common/env.hpp"
 #include "engine/grid_registry.hpp"
+#include "engine/result_store.hpp"
 #include "engine/shard.hpp"
 #include "orchestrator/launcher.hpp"
 #include "orchestrator/merge_stage.hpp"
 #include "orchestrator/scheduler.hpp"
 #include "orchestrator/work_unit.hpp"
 #include "sim/report.hpp"
+#include "telemetry/phase_trace.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace_cache.hpp"
 
 namespace {
@@ -63,15 +73,20 @@ int usage(const char* error = nullptr) {
                "      [--fault-kill K] [--fault-attempt A]\n"
                "  smt_orchestrate status --grid <%s>\n"
                "      [--shards N] [--seeds S] [--strategy contiguous|strided]\n"
-               "      [--out-dir DIR]\n"
+               "      [--out-dir DIR] [--json] [--follow] [--poll-ms P]\n"
+               "      [--timeout-sec T]\n"
                "\n"
                "run drives every shard of the grid to a merged, validated\n"
                "BENCH_<grid>.json: J workers in flight, failed shards retried R\n"
                "times with exponential backoff, fragments merged only when they\n"
                "form a clean partition with the plan's grid fingerprint.\n"
                "--dry-run prints the dispatch plan as JSON. status reports which\n"
-               "fragments of the plan exist, validate, or are stale; it exits 0\n"
-               "only when every fragment is ok and the merged snapshot exists.\n",
+               "fragments of the plan exist, validate, or are stale — with live\n"
+               "per-shard progress when workers stream it (SMT_TELEM=1); it\n"
+               "exits 0 only when every fragment is ok and the merged snapshot\n"
+               "exists. --json prints the same status as JSON; --follow\n"
+               "re-renders every --poll-ms (or SMT_ORCH_POLL_MS) until complete\n"
+               "or --timeout-sec elapses.\n",
                grids.c_str(), grids.c_str());
   return 2;
 }
@@ -83,6 +98,9 @@ struct Options {
   std::string backend = "subprocess";
   std::string smt_shard;  ///< worker binary; "" = next to this binary
   bool dry_run = false;
+  bool status_json = false;    ///< status --json
+  bool status_follow = false;  ///< status --follow
+  std::chrono::seconds status_timeout{0};  ///< --follow cap; 0 = none
 };
 
 /// The smt_shard binary next to this executable — the layout every CMake
@@ -148,7 +166,33 @@ int run_sweep(const Options& opt, const char* argv0) {
             << launcher->name() << " worker" << (plan.jobs == 1 ? "" : "s")
             << ", trace cache " << trace_cache_mode_string() << "\n";
 
-  const orch::SweepOutcome sweep = orch::Scheduler(*launcher, opt.sched).run(plan);
+  // SMT_TELEM=1: the orchestrator records its own phase trace (dispatch,
+  // merge; with --backend thread, the in-process workers' simulate and
+  // serialize spans land here too). Subprocess workers always run with
+  // --shard, so their trace files are shard-qualified and never collide
+  // with this unqualified one.
+  const bool telem_on = telem::telemetry_enabled();
+  if (telem_on) {
+    const std::filesystem::path dir(plan.out_dir);
+    telem::PhaseTracer::shared().enable((dir / telem::trace_filename(plan.bench)).string());
+    if (opt.backend == "thread") {
+      telem::IntervalSink::shared().open(
+          (dir / telem::intervals_filename(plan.bench)).string());
+    }
+  }
+  const auto finish = [&](int rc) {
+    if (telem_on) {
+      telem::IntervalSink::shared().close();
+      telem::PhaseTracer::shared().flush();
+    }
+    return rc;
+  };
+
+  orch::SweepOutcome sweep;
+  {
+    telem::PhaseSpan span("dispatch", "{\"shards\":" + std::to_string(plan.shards) + "}");
+    sweep = orch::Scheduler(*launcher, opt.sched).run(plan);
+  }
   if (!sweep.ok) {
     for (const orch::ShardOutcome& s : sweep.shards) {
       if (s.state != orch::ShardState::Done) {
@@ -158,64 +202,213 @@ int run_sweep(const Options& opt, const char* argv0) {
                      s.error.empty() ? "" : ": ", s.error.c_str());
       }
     }
-    return 1;
+    return finish(1);
   }
 
   const orch::MergeOutcome merged = orch::merge_sweep(plan);
   if (!merged.ok) {
     std::fprintf(stderr, "smt_orchestrate: merge failed: %s\n", merged.error.c_str());
-    return 1;
+    return finish(1);
   }
   std::cout << "[" << merged.fragments << " fragments, " << merged.runs << " runs, "
             << sweep.retries_used << " retr" << (sweep.retries_used == 1 ? "y" : "ies")
             << " -> " << merged.merged_path << "]\n";
-  return 0;
+  return finish(0);
 }
 
-int run_status(const Options& opt) {
-  const orch::DispatchPlan plan = orch::make_dispatch_plan(opt.plan);
-  ReportTable table({"shard", "fragment", "state"});
+// ---- status plane ------------------------------------------------------------
+
+/// One shard's snapshot-of-the-moment: fragment validity plus whatever the
+/// worker streamed into its progress file (absent unless SMT_TELEM=1).
+struct ShardStatus {
+  std::size_t index = 0;
+  std::string fragment;
+  std::string state;  ///< "missing" | "stale: ..." | "ok (N runs)"
+  bool ok = false;
+  bool has_progress = false;
+  int attempts = 0;         ///< number of "start" events (append-mode file)
+  std::size_t done = 0;     ///< runs finished in the latest attempt
+  std::size_t total = 0;
+  std::uint64_t insts = 0;  ///< committed instructions so far
+  double wall_ms = 0.0;     ///< latest event's wall clock
+  bool worker_done = false; ///< latest attempt reached its "done" event
+};
+
+struct SweepStatus {
+  std::string bench;
+  std::size_t grid_size = 0;
+  std::string fingerprint;
+  std::vector<ShardStatus> shards;
   std::size_t complete = 0;
+  std::string merged_path;
+  bool merged_present = false;
+
+  [[nodiscard]] bool all_done() const {
+    return complete == shards.size() && merged_present;
+  }
+};
+
+/// Fold a shard's progress events into its status. Events replay in file
+/// order; a retry's "start" resets the per-attempt fields.
+void apply_progress(ShardStatus& s, const std::vector<telem::ProgressEvent>& events) {
+  for (const telem::ProgressEvent& ev : events) {
+    s.has_progress = true;
+    if (ev.ev == "start") {
+      ++s.attempts;
+      s.done = 0;
+      s.insts = 0;
+      s.total = ev.total;
+      s.worker_done = false;
+    } else {
+      s.done = ev.done;
+      s.total = ev.total;
+      s.insts = ev.insts;
+      if (ev.ev == "done") s.worker_done = true;
+    }
+    s.wall_ms = ev.wall_ms;
+  }
+}
+
+/// One pass over the out-dir: every renderer (table, --json, --follow)
+/// reads the same collected struct, so they can never drift apart.
+SweepStatus collect_status(const orch::DispatchPlan& plan) {
+  SweepStatus sweep;
+  sweep.bench = plan.bench;
+  sweep.grid_size = plan.grid_size;
+  sweep.fingerprint = plan.fingerprint;
+  sweep.merged_path = plan.merged_path();
+  const std::filesystem::path dir(plan.out_dir);
   for (const orch::WorkUnit& unit : plan.units) {
-    const std::string path = unit.fragment_path();
-    std::string state;
-    if (!std::filesystem::exists(path)) {
-      state = "missing";
+    ShardStatus s;
+    s.index = unit.shard.index;
+    s.fragment = unit.fragment_path();
+    if (!std::filesystem::exists(s.fragment)) {
+      s.state = "missing";
     } else {
       try {
-        const analysis::Snapshot frag = analysis::load_snapshot(path);
+        const analysis::Snapshot frag = analysis::load_snapshot(s.fragment);
         if (!frag.shard) {
-          state = "stale: not a fragment";
+          s.state = "stale: not a fragment";
         } else if (frag.shard->fingerprint != plan.fingerprint) {
-          state = "stale: fingerprint " + frag.shard->fingerprint;
+          s.state = "stale: fingerprint " + frag.shard->fingerprint;
         } else if (frag.shard->indices != unit.indices) {
           // The fingerprint is strategy-independent, so a sweep run with
           // the other --strategy (or another shard count) can match it
           // while covering different grid indices than this plan expects.
           // (The loader already guarantees indices and runs agree in size.)
-          state = "stale: different grid indices (strategy/shard mismatch?)";
+          s.state = "stale: different grid indices (strategy/shard mismatch?)";
         } else {
-          state = "ok (" + std::to_string(frag.runs.size()) + " runs)";
-          ++complete;
+          s.state = "ok (" + std::to_string(frag.runs.size()) + " runs)";
+          s.ok = true;
+          ++sweep.complete;
         }
       } catch (const std::exception&) {
-        state = "stale: unreadable";
+        s.state = "stale: unreadable";
       }
     }
-    table.add_row({std::to_string(unit.shard.index) + "/" + std::to_string(plan.shards),
-                   path, state});
+    apply_progress(s, telem::read_progress(
+                          (dir / telem::progress_filename(plan.bench, unit.shard.index,
+                                                          plan.shards))
+                              .string()));
+    sweep.shards.push_back(std::move(s));
   }
-  const bool merged_present = std::filesystem::exists(plan.merged_path());
-  std::cout << "grid " << plan.bench << ": " << plan.grid_size << " runs, fingerprint "
-            << plan.fingerprint << "\n";
-  table.print(std::cout);
-  std::cout << complete << "/" << plan.shards << " fragments complete; merged snapshot "
-            << plan.merged_path() << " " << (merged_present ? "present" : "absent")
-            << "\n";
-  // Usable as a gate: nonzero unless the sweep is fully done, so a
-  // missing fragment or absent merge fails a pipeline step instead of
-  // only coloring a table a human may never read.
-  return complete == plan.shards && merged_present ? 0 : 1;
+  sweep.merged_present = std::filesystem::exists(sweep.merged_path);
+  return sweep;
+}
+
+/// "1.23 Mi/s" committed-instruction throughput of the current attempt.
+std::string fmt_throughput(const ShardStatus& s) {
+  if (!s.has_progress || s.wall_ms <= 0.0 || s.insts == 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f Mi/s",
+                static_cast<double>(s.insts) / (s.wall_ms * 1000.0));
+  return buf;
+}
+
+/// Naive per-run extrapolation of the time left in the current attempt.
+std::string fmt_eta(const ShardStatus& s) {
+  if (!s.has_progress || s.worker_done || s.done == 0 || s.total <= s.done) {
+    return s.has_progress && (s.worker_done || (s.total > 0 && s.done == s.total))
+               ? "done"
+               : "-";
+  }
+  const double per_run_ms = s.wall_ms / static_cast<double>(s.done);
+  const double eta_s = per_run_ms * static_cast<double>(s.total - s.done) / 1000.0;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.0fs", eta_s);
+  return buf;
+}
+
+void render_status_table(const SweepStatus& sweep, std::ostream& os) {
+  os << "grid " << sweep.bench << ": " << sweep.grid_size << " runs, fingerprint "
+     << sweep.fingerprint << "\n";
+  ReportTable table({"shard", "fragment", "state", "progress", "attempt", "rate", "eta"});
+  for (const ShardStatus& s : sweep.shards) {
+    table.add_row({std::to_string(s.index) + "/" + std::to_string(sweep.shards.size()),
+                   s.fragment, s.state,
+                   s.has_progress
+                       ? std::to_string(s.done) + "/" + std::to_string(s.total)
+                       : "-",
+                   s.has_progress ? std::to_string(s.attempts) : "-", fmt_throughput(s),
+                   fmt_eta(s)});
+  }
+  table.print(os);
+  os << sweep.complete << "/" << sweep.shards.size()
+     << " fragments complete; merged snapshot " << sweep.merged_path << " "
+     << (sweep.merged_present ? "present" : "absent") << "\n";
+}
+
+std::string render_status_json(const SweepStatus& sweep) {
+  std::string out = "{\n";
+  out += "  \"grid\": \"" + json_escape(sweep.bench) + "\",\n";
+  out += "  \"grid_size\": " + std::to_string(sweep.grid_size) + ",\n";
+  out += "  \"fingerprint\": \"" + json_escape(sweep.fingerprint) + "\",\n";
+  out += "  \"complete\": " + std::to_string(sweep.complete) + ",\n";
+  out += "  \"merged\": {\"path\": \"" + json_escape(sweep.merged_path) +
+         "\", \"present\": " + (sweep.merged_present ? "true" : "false") + "},\n";
+  out += "  \"shards\": [";
+  for (std::size_t i = 0; i < sweep.shards.size(); ++i) {
+    const ShardStatus& s = sweep.shards[i];
+    out += i == 0 ? "" : ",";
+    out += "\n    {\"index\": " + std::to_string(s.index) + ", \"fragment\": \"" +
+           json_escape(s.fragment) + "\", \"state\": \"" + json_escape(s.state) +
+           "\", \"ok\": " + (s.ok ? "true" : "false");
+    if (s.has_progress) {
+      char wall[32];
+      std::snprintf(wall, sizeof wall, "%.1f", s.wall_ms);
+      out += ", \"attempts\": " + std::to_string(s.attempts) +
+             ", \"done\": " + std::to_string(s.done) +
+             ", \"total\": " + std::to_string(s.total) +
+             ", \"insts\": " + std::to_string(s.insts) + ", \"wall_ms\": " + wall +
+             std::string(", \"worker_done\": ") + (s.worker_done ? "true" : "false");
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+int run_status(const Options& opt) {
+  const orch::DispatchPlan plan = orch::make_dispatch_plan(opt.plan);
+  const auto deadline = std::chrono::steady_clock::now() + opt.status_timeout;
+  for (;;) {
+    const SweepStatus sweep = collect_status(plan);
+    if (opt.status_json) {
+      std::cout << render_status_json(sweep);
+    } else {
+      render_status_table(sweep, std::cout);
+    }
+    // Usable as a gate: nonzero unless the sweep is fully done, so a
+    // missing fragment or absent merge fails a pipeline step instead of
+    // only coloring a table a human may never read.
+    if (!opt.status_follow || sweep.all_done()) return sweep.all_done() ? 0 : 1;
+    if (opt.status_timeout.count() > 0 && std::chrono::steady_clock::now() >= deadline) {
+      std::fprintf(stderr, "smt_orchestrate: --follow timed out before completion\n");
+      return 1;
+    }
+    std::this_thread::sleep_for(opt.sched.poll_interval);
+    std::cout << "\n";
+  }
 }
 
 }  // namespace
@@ -287,10 +480,23 @@ int main(int argc, char** argv) {
         const auto* v = value();
         if (v == nullptr) return usage("--smt-shard needs a path");
         opt.smt_shard = *v;
-      } else if (a == "--timeout-sec" && cmd == "run") {
+      } else if (a == "--timeout-sec") {
         const auto n = size_value("--timeout-sec", 0, 86'400);
         if (!n) return 2;
-        opt.sched.timeout = std::chrono::seconds(*n);
+        // run: per-attempt wall cap; status --follow: total follow cap.
+        if (cmd == "run") {
+          opt.sched.timeout = std::chrono::seconds(*n);
+        } else {
+          opt.status_timeout = std::chrono::seconds(*n);
+        }
+      } else if (a == "--poll-ms") {
+        const auto n = size_value("--poll-ms", 1, 60'000);
+        if (!n) return 2;
+        opt.sched.poll_interval = std::chrono::milliseconds(*n);
+      } else if (a == "--json" && cmd == "status") {
+        opt.status_json = true;
+      } else if (a == "--follow" && cmd == "status") {
+        opt.status_follow = true;
       } else if (a == "--backoff-ms" && cmd == "run") {
         const auto n = size_value("--backoff-ms", 0, 600'000);
         if (!n) return 2;

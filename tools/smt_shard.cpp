@@ -31,6 +31,9 @@
 #include "engine/run_spec.hpp"
 #include "engine/shard.hpp"
 #include "sim/report.hpp"
+#include "telemetry/phase_trace.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/trace_cache.hpp"
 
 namespace {
@@ -138,25 +141,61 @@ int run_run(const Options& opt) {
   std::cout << "grid " << opt.bench << ": " << specs.size() << " runs, trace cache "
             << trace_cache_mode_string() << "\n";
 
+  // SMT_TELEM=1: arm the phase tracer and the interval sink for this
+  // worker. All of it is out-of-band — TELEM_*/PROGRESS_* files only,
+  // never a byte of BENCH_*.json.
+  const bool telem_on = telem::telemetry_enabled();
+  const std::size_t sk = opt.shard ? opt.shard->index : 0;
+  const std::size_t sn = opt.shard ? opt.shard->count : 0;
+  if (telem_on) {
+    telem::PhaseTracer::shared().enable(dir + telem::trace_filename(opt.bench, sk, sn));
+    telem::IntervalSink::shared().open(dir +
+                                       telem::intervals_filename(opt.bench, sk, sn));
+  }
+  const auto finish = [&](int rc) {
+    if (telem_on) {
+      telem::IntervalSink::shared().close();
+      telem::PhaseTracer::shared().flush();
+    }
+    return rc;
+  };
+
   if (opt.shard) {
     const std::string path =
         dir + shard_fragment_filename(opt.bench, opt.shard->index, opt.shard->count);
-    return run_shard_to_file(specs, *opt.shard, opt.strategy, meta, path,
-                             /*zero_wall=*/true)
-               ? 0
-               : 1;
+    return finish(run_shard_to_file(specs, *opt.shard, opt.strategy, meta, path,
+                                    /*zero_wall=*/true)
+                      ? 0
+                      : 1);
   }
 
   const std::string path = dir + "BENCH_" + opt.bench + ".json";
-  const ResultSet rs = ExperimentEngine().run(specs);
+  // Unsharded runs stream progress too (as shard 1/1, unqualified file
+  // name) so `status --follow` works on single-process sweeps.
+  telem::ProgressWriter progress;
+  ExperimentEngine engine;
+  std::uint64_t insts = 0;
+  if (telem_on && progress.open(dir + telem::progress_filename(opt.bench))) {
+    progress.event_start(1, 1, specs.size());
+    engine.set_observer([&](std::size_t done, std::size_t total, const RunRecord& rec) {
+      const auto it = rec.result.counters.find("core.committed");
+      if (it != rec.result.counters.end()) insts += it->second;
+      progress.event_run(done, total, insts);
+    });
+  }
+  const ResultSet rs = engine.run(specs);
   ResultStore store;
   for (const auto& [k, v] : meta) store.set_meta(k, v);
   for (const auto& [k, v] : trace_cache_stats_meta_if_enabled()) store.set_meta(k, v);
   store.set_zero_wall(true);
   store.add_all(rs);
-  if (!store.write_json(path)) return 1;
+  {
+    telem::PhaseSpan span("serialize", "{\"runs\":" + std::to_string(rs.size()) + "}");
+    if (!store.write_json(path)) return finish(1);
+  }
+  progress.event_done(specs.size(), specs.size(), insts);
   std::cout << "[" << store.size() << " runs -> " << path << "]\n";
-  return 0;
+  return finish(0);
 }
 
 /// Expand a directory argument into the shard-fragment files inside it.
