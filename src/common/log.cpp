@@ -86,7 +86,10 @@ void vlog_line(LogLevel level, const char* tag, const char* fmt, va_list args) {
   va_end(measure);
   if (body < 0) return;
   const std::string prefix = log_prefix(level, tag);
-  std::vector<char> line(prefix.size() + static_cast<std::size_t>(body) + 2);
+  // body formatted chars + vsnprintf's terminator slot, which the '\n'
+  // then overwrites — the written line must carry no NUL (logs are
+  // text; a stray NUL makes grep treat the stream as binary).
+  std::vector<char> line(prefix.size() + static_cast<std::size_t>(body) + 1);
   std::memcpy(line.data(), prefix.data(), prefix.size());
   std::vsnprintf(line.data() + prefix.size(), static_cast<std::size_t>(body) + 1, fmt,
                  args);

@@ -44,6 +44,19 @@ std::vector<std::size_t> JobTracker::running() const {
   return out;
 }
 
+void JobTracker::seed_done(std::size_t shard) {
+  ShardProgress& p = at(shard);
+  DWARN_CHECK(p.state == ShardState::Pending && p.attempts == 0);
+  p.state = ShardState::Done;
+}
+
+void JobTracker::seed_prior_attempts(std::size_t shard, int attempts) {
+  DWARN_CHECK(attempts >= 0);
+  ShardProgress& p = at(shard);
+  DWARN_CHECK(p.attempts == 0);
+  p.prior_attempts = attempts;
+}
+
 void JobTracker::on_dispatched(std::size_t shard, JobId job,
                                TrackerClock::time_point now) {
   ShardProgress& p = at(shard);

@@ -36,7 +36,8 @@ using TrackerClock = std::chrono::steady_clock;
 /// Where one shard stands.
 struct ShardProgress {
   ShardState state = ShardState::Pending;
-  int attempts = 0;  ///< dispatches so far (the running one included)
+  int attempts = 0;        ///< dispatches so far (the running one included)
+  int prior_attempts = 0;  ///< dispatches by earlier driver invocations (resume)
   JobId job = 0;     ///< current attempt's launcher handle (valid when Running)
   TrackerClock::time_point started{};     ///< current attempt start
   TrackerClock::time_point not_before{};  ///< backoff gate for the next dispatch
@@ -56,6 +57,18 @@ class JobTracker {
 
   /// 1-based numbers of the currently Running shards, ascending.
   [[nodiscard]] std::vector<std::size_t> running() const;
+
+  /// Resume support: mark an undispatched shard Done before the sweep
+  /// starts — its fragment already exists on disk and validates against
+  /// the plan, so it must never be dispatched again.
+  void seed_done(std::size_t shard);
+
+  /// Resume support: record attempts spent by earlier driver invocations.
+  /// Reported via ShardProgress::prior_attempts (and the cumulative
+  /// attempt numbers the scheduler logs/journals) but deliberately not
+  /// counted against this invocation's 1 + max_retries budget — an
+  /// explicit resume asks for fresh tries, not an instant abandonment.
+  void seed_prior_attempts(std::size_t shard, int attempts);
 
   void on_dispatched(std::size_t shard, JobId job, TrackerClock::time_point now);
   void on_succeeded(std::size_t shard);

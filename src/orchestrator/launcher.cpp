@@ -77,8 +77,10 @@ JobStatus decode_wait_status(int status) {
 }  // namespace
 
 SubprocessLauncher::~SubprocessLauncher() {
+  // Terminal jobs were erased when reported, so everything left is (or
+  // recently was) a live worker.
   for (auto& [id, job] : jobs_) {
-    if (job.done || job.pid <= 0) continue;
+    if (job.pid <= 0) continue;
     ::kill(static_cast<pid_t>(job.pid), SIGKILL);
     int status = 0;
     (void)waitpid(static_cast<pid_t>(job.pid), &status, 0);
@@ -104,15 +106,21 @@ std::optional<JobId> SubprocessLauncher::start(const WorkUnit& unit) {
   }
 
   const JobId id = next_id_++;
-  jobs_[id] = Job{pid, std::nullopt};
+  Job& job = jobs_[id];
+  job.pid = pid;
   if (unit.inject_fault) {
     // The injected worker crash (SMT_ORCH_FAULT_KILL): SIGKILL cannot be
-    // caught, so the attempt reliably dies mid-run — after an optional
-    // delay that lets the worker get observably deep into its shard.
-    if (fault_delay_ms_ > 0) {
-      usleep(static_cast<useconds_t>(fault_delay_ms_) * 1000);
+    // caught, so the attempt reliably dies mid-run. A configured delay
+    // lets the worker get observably deep into its shard first — armed
+    // as a poll-time deadline, never slept for here: sleeping in start()
+    // would stall dispatch and polling of every other worker for as long
+    // as the faulted one is allowed to run.
+    if (fault_delay_ms_ == 0) {
+      ::kill(pid, SIGKILL);
+    } else {
+      job.kill_at = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(fault_delay_ms_);
     }
-    ::kill(pid, SIGKILL);
   }
   return id;
 }
@@ -123,30 +131,29 @@ JobStatus SubprocessLauncher::poll(JobId id) {
     return {JobStatus::State::Failed, "unknown job id " + std::to_string(id)};
   }
   Job& job = it->second;
-  if (job.done) return *job.done;
+  if (job.kill_at && std::chrono::steady_clock::now() >= *job.kill_at) {
+    // The armed fault's deadline passed: fire the SIGKILL now. The death
+    // surfaces at this or a later poll's waitpid like any worker crash.
+    ::kill(static_cast<pid_t>(job.pid), SIGKILL);
+    job.kill_at.reset();
+  }
   int status = 0;
   const pid_t rc = waitpid(static_cast<pid_t>(job.pid), &status, WNOHANG);
   if (rc == 0) return {JobStatus::State::Running, {}};
-  if (rc < 0) {
-    job.done = JobStatus{JobStatus::State::Failed, "waitpid failed"};
-  } else {
-    job.done = decode_wait_status(status);
-  }
-  return *job.done;
+  const JobStatus done = rc < 0 ? JobStatus{JobStatus::State::Failed, "waitpid failed"}
+                                : decode_wait_status(status);
+  jobs_.erase(it);
+  return done;
 }
 
 void SubprocessLauncher::kill(JobId id) {
   const auto it = jobs_.find(id);
-  if (it == jobs_.end() || it->second.done) return;
-  Job& job = it->second;
-  ::kill(static_cast<pid_t>(job.pid), SIGKILL);
+  if (it == jobs_.end()) return;
+  ::kill(static_cast<pid_t>(it->second.pid), SIGKILL);
   int status = 0;
   // SIGKILL is not maskable, so this reap cannot hang.
-  if (waitpid(static_cast<pid_t>(job.pid), &status, 0) > 0) {
-    job.done = decode_wait_status(status);
-  } else {
-    job.done = JobStatus{JobStatus::State::Failed, "killed"};
-  }
+  (void)waitpid(static_cast<pid_t>(it->second.pid), &status, 0);
+  jobs_.erase(it);
 }
 
 #else  // !DWARN_HAVE_FORK
@@ -211,20 +218,25 @@ std::optional<JobId> InProcessLauncher::start(const WorkUnit& unit) {
 }
 
 JobStatus InProcessLauncher::poll(JobId id) {
-  Job* job = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = jobs_.find(id);
-    if (it == jobs_.end()) {
-      return {JobStatus::State::Failed, "unknown job id " + std::to_string(id)};
-    }
-    job = it->second.get();
+  // Find, join and erase under one lock hold: joining after dropping the
+  // lock would let a concurrent poll of the same id (or the destructor)
+  // race this join — and a terminal job must leave the map in the same
+  // step its status is reported, so the map never grows with the sweep.
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return {JobStatus::State::Failed, "unknown job id " + std::to_string(id)};
   }
-  const int state = job->state.load(std::memory_order_acquire);
+  Job& job = *it->second;
+  const int state = job.state.load(std::memory_order_acquire);
   if (state == 0) return {JobStatus::State::Running, {}};
-  if (job->worker.joinable()) job->worker.join();
-  return {state == 1 ? JobStatus::State::Succeeded : JobStatus::State::Failed,
-          job->detail};
+  // The worker already stored its terminal state, so this join can only
+  // wait out the tail of the thread's exit — never a whole simulation.
+  if (job.worker.joinable()) job.worker.join();
+  const JobStatus done{
+      state == 1 ? JobStatus::State::Succeeded : JobStatus::State::Failed, job.detail};
+  jobs_.erase(it);
+  return done;
 }
 
 void InProcessLauncher::kill(JobId) {

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -63,11 +64,20 @@ class Launcher {
 };
 
 /// Local subprocess pool backend: re-execs `smt_shard run` per unit.
+///
+/// Terminal jobs are erased from the job map as soon as their status is
+/// returned (poll) or they are reaped (kill): a million-shard sweep must
+/// not keep a map entry per finished attempt. The scheduler never polls
+/// a job again after seeing a terminal status, so a later poll of a
+/// vanished id ("unknown job id") can only mean a caller bug.
 class SubprocessLauncher final : public Launcher {
  public:
   /// `smt_shard_binary` must be an executable path (not PATH-searched).
   /// `fault_delay_ms` delays the injected SIGKILL of a faulted unit so
-  /// the worker is observably mid-run when it dies (SMT_ORCH_FAULT_DELAY_MS).
+  /// the worker is observably mid-run when it dies
+  /// (SMT_ORCH_FAULT_DELAY_MS). The delay is armed as a deadline checked
+  /// at poll time — start() never sleeps, so a delayed fault cannot
+  /// stall dispatch or polling of the other workers.
   explicit SubprocessLauncher(std::string smt_shard_binary,
                               std::size_t fault_delay_ms = 0);
   ~SubprocessLauncher() override;  ///< kills and reaps any still-running jobs
@@ -84,16 +94,23 @@ class SubprocessLauncher final : public Launcher {
  private:
   struct Job {
     std::int64_t pid = -1;
-    std::optional<JobStatus> done;  ///< set once reaped
+    /// Armed delayed fault injection: the next poll at or past this
+    /// instant sends the SIGKILL (never slept for in start()).
+    std::optional<std::chrono::steady_clock::time_point> kill_at;
   };
 
   std::string binary_;
   std::size_t fault_delay_ms_;
-  std::map<JobId, Job> jobs_;
+  std::map<JobId, Job> jobs_;  ///< in-flight attempts only (see class doc)
   JobId next_id_ = 1;
 };
 
 /// Thread-backed backend: runs units on this process's engine (no fork).
+///
+/// A job that polls terminal is joined and erased under the launcher
+/// lock in one step — the map holds only running (or kill()-abandoned)
+/// attempts, and the lock-held join cannot race a concurrent poll or the
+/// destructor into a double join.
 class InProcessLauncher final : public Launcher {
  public:
   ~InProcessLauncher() override;  ///< joins every worker thread
@@ -113,7 +130,7 @@ class InProcessLauncher final : public Launcher {
   };
 
   std::mutex mu_;
-  std::map<JobId, std::unique_ptr<Job>> jobs_;
+  std::map<JobId, std::unique_ptr<Job>> jobs_;  ///< running/abandoned attempts only
   JobId next_id_ = 1;
 };
 

@@ -1,12 +1,63 @@
 #include "orchestrator/merge_stage.hpp"
 
+#include <filesystem>
 #include <vector>
 
-#include "analysis/trajectory.hpp"
 #include "engine/result_store.hpp"
 #include "telemetry/phase_trace.hpp"
 
 namespace dwarn::orch {
+
+FragmentCheck check_fragment(const analysis::Snapshot& frag, const WorkUnit& unit,
+                             const std::string& plan_fingerprint) {
+  FragmentCheck out;
+  if (!frag.shard) {
+    out.error = "stale: not a shard fragment";
+    return out;
+  }
+  if (frag.shard->fingerprint != plan_fingerprint) {
+    out.error = "stale: grid fingerprint " + frag.shard->fingerprint +
+                " does not match the plan's " + plan_fingerprint +
+                " (different grid, seed count or run windows)";
+    return out;
+  }
+  if (frag.shard->index != unit.shard.index || frag.shard->count != unit.shard.count) {
+    out.error = "stale: fragment is shard " + std::to_string(frag.shard->index) + "/" +
+                std::to_string(frag.shard->count) + ", expected " +
+                std::to_string(unit.shard.index) + "/" +
+                std::to_string(unit.shard.count);
+    return out;
+  }
+  if (frag.shard->indices != unit.indices) {
+    // The fingerprint is strategy-independent, so a fragment from a sweep
+    // run with the other --strategy can match it while covering different
+    // grid indices than this plan expects. (The loader already guarantees
+    // indices and runs agree in size.)
+    out.error = "stale: different grid indices (strategy/shard mismatch?)";
+    return out;
+  }
+  out.ok = true;
+  out.runs = frag.runs.size();
+  return out;
+}
+
+FragmentCheck check_fragment_file(const WorkUnit& unit,
+                                  const std::string& plan_fingerprint) {
+  const std::string path = unit.fragment_path();
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    FragmentCheck out;
+    out.error = "missing";
+    return out;
+  }
+  try {
+    return check_fragment(analysis::load_snapshot(path), unit, plan_fingerprint);
+  } catch (const std::exception& e) {
+    FragmentCheck out;
+    out.error = std::string("stale: unreadable (") + e.what() + ")";
+    return out;
+  }
+}
 
 MergeOutcome merge_sweep(const DispatchPlan& plan) {
   telem::PhaseSpan span("merge",
@@ -18,18 +69,9 @@ MergeOutcome merge_sweep(const DispatchPlan& plan) {
     fragments.reserve(plan.units.size());
     for (const WorkUnit& unit : plan.units) {
       analysis::Snapshot frag = analysis::load_snapshot(unit.fragment_path());
-      if (!frag.shard) {
-        out.error = unit.fragment_path() + ": not a shard fragment";
-        return out;
-      }
-      if (frag.shard->fingerprint != plan.fingerprint) {
-        // merge_shards only checks fragments against each other; the plan
-        // fingerprint catches a *consistently* stale set (every worker ran
-        // an older grid or different windows than this orchestrator).
-        out.error = unit.fragment_path() + ": grid fingerprint " +
-                    frag.shard->fingerprint + " does not match the plan's " +
-                    plan.fingerprint +
-                    " (worker ran a different grid, seed count or run windows)";
+      const FragmentCheck check = check_fragment(frag, unit, plan.fingerprint);
+      if (!check.ok) {
+        out.error = unit.fragment_path() + ": " + check.error;
         return out;
       }
       fragments.push_back(std::move(frag));

@@ -4,16 +4,22 @@
 // fragment files into the canonical BENCH_<bench>.json. It loads exactly
 // the fragment paths the DispatchPlan names (never a directory glob, so
 // stale fragments from an older shard count cannot sneak in), checks each
-// fragment's recorded grid fingerprint against the plan's own expansion
-// — catching a worker that ran with a divergent environment even when
-// the fragments agree among themselves — and then defers to
+// fragment with check_fragment — recorded grid fingerprint against the
+// plan's own expansion (catching a worker that ran with a divergent
+// environment even when the fragments agree among themselves), shard
+// header and covered grid indices against the plan's unit (catching a
+// fragment from the other --strategy or shard count that the
+// strategy-independent fingerprint cannot see) — and then defers to
 // analysis::merge_shards for the full partition validation. Any
 // violation is a hard failure: the orchestrator never writes a merged
-// snapshot it cannot vouch for.
+// snapshot it cannot vouch for. The same checks back `smt_orchestrate
+// status` and the resume scan (sweep_state.hpp), so "valid enough to
+// skip on resume" and "valid enough to merge" can never drift apart.
 #pragma once
 
 #include <string>
 
+#include "analysis/trajectory.hpp"
 #include "orchestrator/work_unit.hpp"
 
 namespace dwarn::orch {
@@ -25,6 +31,27 @@ struct MergeOutcome {
   std::size_t runs = 0;      ///< runs in the merged snapshot
   std::string error;         ///< validation / I/O failure detail
 };
+
+/// One fragment's validity against the plan — the per-fragment half of
+/// the merge contract, shared by MergeStage, `smt_orchestrate status`
+/// and the resume scan.
+struct FragmentCheck {
+  bool ok = false;
+  std::size_t runs = 0;  ///< runs in the fragment (when ok)
+  std::string error;     ///< "missing" | "stale: ..." (when not ok)
+};
+
+/// Validate a loaded fragment against its planned unit: shard block
+/// present, fingerprint equal to the plan's, shard header K/N and
+/// covered grid indices equal to the unit's.
+[[nodiscard]] FragmentCheck check_fragment(const analysis::Snapshot& frag,
+                                           const WorkUnit& unit,
+                                           const std::string& plan_fingerprint);
+
+/// check_fragment on the unit's fragment path. Never throws: a missing
+/// file reports "missing", an unreadable/torn one "stale: unreadable".
+[[nodiscard]] FragmentCheck check_fragment_file(const WorkUnit& unit,
+                                                const std::string& plan_fingerprint);
 
 /// Merge the plan's fragments into plan.merged_path(). Never throws —
 /// every failure comes back as MergeOutcome{ok=false, error}.

@@ -20,6 +20,7 @@
 
 #include "orchestrator/job_tracker.hpp"
 #include "orchestrator/launcher.hpp"
+#include "orchestrator/sweep_state.hpp"
 #include "orchestrator/work_unit.hpp"
 
 namespace dwarn::orch {
@@ -42,11 +43,19 @@ struct SchedulerOptions {
   std::optional<std::size_t> fault_kill_shard;
   int fault_kill_attempt = 1;
 
+  /// Injected *driver* crash: SIGKILL this process (no cleanup, no
+  /// destructors — exactly a preemption) right after the N-th shard
+  /// completes and is journaled. The deterministic hook behind the
+  /// resume roundtrip ctest and the CI driver-kill leg: with --jobs 1
+  /// and N=1, exactly one fragment lands before the driver dies.
+  std::optional<std::size_t> fault_driver_kill_after;
+
   /// Fill options from the environment:
-  ///   SMT_ORCH_POLL_MS        scheduler poll sleep in [1, 60000] ms
-  ///                           (status --follow reuses it for its refresh)
-  ///   SMT_ORCH_FAULT_KILL     shard number whose attempt is killed
-  ///   SMT_ORCH_FAULT_ATTEMPT  which attempt dies (default 1)
+  ///   SMT_ORCH_POLL_MS           scheduler poll sleep in [1, 60000] ms
+  ///                              (status --follow reuses it for its refresh)
+  ///   SMT_ORCH_FAULT_KILL        shard number whose attempt is killed
+  ///   SMT_ORCH_FAULT_ATTEMPT     which attempt dies (default 1)
+  ///   SMT_ORCH_FAULT_DRIVER_KILL SIGKILL the driver after N shards done
   /// Out-of-range values warn on stderr and leave the option unchanged.
   /// CLI flags are applied after this, so they win over the environment.
   void apply_env();
@@ -73,8 +82,15 @@ class Scheduler {
       : launcher_(&launcher), opt_(opt) {}
 
   /// Execute every unit of `plan`. Blocks until the sweep succeeds or a
-  /// shard exhausts its retries.
-  [[nodiscard]] SweepOutcome run(const DispatchPlan& plan);
+  /// shard exhausts its retries. With `resume`, the listed shards are
+  /// pre-marked Done (their fragments already validate on disk) and only
+  /// the rest dispatch; prior attempt counts are folded into the
+  /// cumulative numbers logged and journaled. With `journal`, every
+  /// dispatch/completion/failure atomically rewrites the sweep-state
+  /// file, so a driver killed at any instant leaves a resumable record.
+  [[nodiscard]] SweepOutcome run(const DispatchPlan& plan,
+                                 const ResumeSeed* resume = nullptr,
+                                 SweepJournal* journal = nullptr);
 
  private:
   Launcher* launcher_;

@@ -1,0 +1,282 @@
+#include "orchestrator/sweep_state.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/json.hpp"
+#include "common/check.hpp"
+#include "common/log.hpp"
+#include "engine/result_store.hpp"
+#include "orchestrator/merge_stage.hpp"
+
+namespace dwarn::orch {
+
+std::string sweep_state_filename(std::string_view bench) {
+  return "SWEEP_" + std::string(bench) + ".state.json";
+}
+
+SweepState make_initial_state(const DispatchPlan& plan) {
+  SweepState state;
+  state.bench = plan.bench;
+  state.grid_size = plan.grid_size;
+  state.fingerprint = plan.fingerprint;
+  state.shards = plan.shards;
+  state.seeds = plan.seeds;
+  state.strategy = plan.strategy;
+  state.jobs = plan.jobs;
+  state.history.resize(plan.shards);
+  for (std::size_t k = 1; k <= plan.shards; ++k) state.history[k - 1].shard = k;
+  return state;
+}
+
+std::string sweep_state_json(const SweepState& state) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"sweep\": {\n"
+     << "    \"bench\": \"" << json_escape(state.bench) << "\",\n"
+     << "    \"grid_size\": " << state.grid_size << ",\n"
+     << "    \"fingerprint\": \"" << json_escape(state.fingerprint) << "\",\n"
+     << "    \"shards\": " << state.shards << ",\n"
+     << "    \"seeds\": " << state.seeds << ",\n"
+     << "    \"strategy\": \"" << to_string(state.strategy) << "\",\n"
+     << "    \"jobs\": " << state.jobs << "\n"
+     << "  },\n"
+     << "  \"shards\": [";
+  for (std::size_t i = 0; i < state.history.size(); ++i) {
+    const ShardJournalEntry& e = state.history[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"shard\": " << e.shard << ", \"state\": \""
+       << json_escape(e.state) << "\", \"attempts\": " << e.attempts
+       << ", \"last_error\": \"" << json_escape(e.last_error) << "\"}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+namespace {
+
+std::size_t as_size(const json::Value& v, const char* what) {
+  const double d = v.as_number();
+  if (d < 0 || d != static_cast<double>(static_cast<std::size_t>(d))) {
+    throw std::runtime_error(std::string(what) + " is not a non-negative integer");
+  }
+  return static_cast<std::size_t>(d);
+}
+
+}  // namespace
+
+SweepState parse_sweep_state(std::string_view json_text) {
+  try {
+    const json::Value doc = json::parse(json_text);
+    SweepState state;
+    const json::Value& sweep = doc.at("sweep");
+    state.bench = sweep.at("bench").as_string();
+    state.grid_size = as_size(sweep.at("grid_size"), "grid_size");
+    state.fingerprint = sweep.at("fingerprint").as_string();
+    state.shards = as_size(sweep.at("shards"), "shards");
+    state.seeds = as_size(sweep.at("seeds"), "seeds");
+    state.jobs = as_size(sweep.at("jobs"), "jobs");
+    const std::string& strategy = sweep.at("strategy").as_string();
+    const auto parsed = shard_strategy_from_name(strategy);
+    if (!parsed) throw std::runtime_error("unknown strategy '" + strategy + "'");
+    state.strategy = *parsed;
+    if (state.shards < 1 || state.shards > kMaxShards) {
+      throw std::runtime_error("shard count " + std::to_string(state.shards) +
+                               " out of range");
+    }
+
+    const json::Array& arr = doc.at("shards").as_array();
+    if (arr.size() != state.shards) {
+      throw std::runtime_error("shard history has " + std::to_string(arr.size()) +
+                               " entries for " + std::to_string(state.shards) +
+                               " shards");
+    }
+    state.history.reserve(arr.size());
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      ShardJournalEntry e;
+      e.shard = as_size(arr[i].at("shard"), "shard");
+      if (e.shard != i + 1) {
+        throw std::runtime_error("shard history entry " + std::to_string(i) +
+                                 " is numbered " + std::to_string(e.shard));
+      }
+      e.state = arr[i].at("state").as_string();
+      if (e.state != "pending" && e.state != "running" && e.state != "done" &&
+          e.state != "abandoned") {
+        throw std::runtime_error("unknown shard state '" + e.state + "'");
+      }
+      e.attempts = static_cast<int>(as_size(arr[i].at("attempts"), "attempts"));
+      e.last_error = arr[i].at("last_error").as_string();
+      state.history.push_back(std::move(e));
+    }
+    return state;
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("invalid sweep state: ") + e.what());
+  }
+}
+
+std::optional<SweepState> load_sweep_state(const std::string& path, std::string& error) {
+  error.clear();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec)) error = "cannot read '" + path + "'";
+    return std::nullopt;  // missing: error stays empty
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return parse_sweep_state(buf.str());
+  } catch (const std::exception& e) {
+    error = path + ": " + e.what();
+    return std::nullopt;
+  }
+}
+
+bool write_sweep_state(const std::string& path, const SweepState& state) {
+  // The snapshot writers' temp + rename idiom (result_store.cpp): the
+  // journal either exists complete or keeps its previous content — a
+  // driver SIGKILLed mid-write can never leave a torn file that a later
+  // resume would refuse for the wrong reason.
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(static_cast<long long>(::getpid())) + "." +
+                          std::to_string(seq.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "[dwarn] warning: cannot write '%s'\n", tmp.c_str());
+      return false;
+    }
+    out << sweep_state_json(state);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "[dwarn] warning: short write to '%s'\n", tmp.c_str());
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::fprintf(stderr, "[dwarn] warning: cannot rename '%s' to '%s': %s\n",
+                 tmp.c_str(), path.c_str(), ec.message().c_str());
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+std::string validate_sweep_state(const SweepState& state, const DispatchPlan& plan) {
+  const auto mismatch = [&](const std::string& what, const std::string& recorded,
+                            const std::string& planned) {
+    return "sweep state records " + what + " " + recorded + " but this invocation plans " +
+           planned + " — resume must rerun the sweep it recorded (delete " +
+           sweep_state_filename(plan.bench) + " and the fragments to start over)";
+  };
+  if (state.bench != plan.bench) return mismatch("grid", state.bench, plan.bench);
+  if (state.shards != plan.shards) {
+    return mismatch("shard count", std::to_string(state.shards),
+                    std::to_string(plan.shards));
+  }
+  if (state.strategy != plan.strategy) {
+    return mismatch("strategy", std::string(to_string(state.strategy)),
+                    std::string(to_string(plan.strategy)));
+  }
+  if (state.seeds != plan.seeds) {
+    return mismatch("seed count", std::to_string(state.seeds),
+                    std::to_string(plan.seeds));
+  }
+  if (state.grid_size != plan.grid_size) {
+    return mismatch("grid size", std::to_string(state.grid_size),
+                    std::to_string(plan.grid_size));
+  }
+  if (state.fingerprint != plan.fingerprint) {
+    return mismatch("grid fingerprint", state.fingerprint, plan.fingerprint) +
+           " (different grid, seed count or run windows?)";
+  }
+  if (state.history.size() != plan.shards) {
+    return "sweep state shard history is inconsistent with its own shard count";
+  }
+  return {};
+}
+
+ResumeScan scan_fragments(const DispatchPlan& plan) {
+  ResumeScan scan;
+  for (const WorkUnit& unit : plan.units) {
+    const FragmentCheck check = check_fragment_file(unit, plan.fingerprint);
+    if (check.ok) {
+      scan.done_shards.push_back(unit.shard.index);
+    } else {
+      scan.notes.push_back("resume: shard " + std::to_string(unit.shard.index) + "/" +
+                           std::to_string(plan.shards) + " fragment " + check.error +
+                           "; will dispatch");
+    }
+  }
+  return scan;
+}
+
+ResumeSeed seed_resume(const ResumeScan& scan, SweepState& state) {
+  ResumeSeed seed;
+  seed.done_shards = scan.done_shards;
+  seed.prior_attempts.assign(state.history.size(), 0);
+  for (std::size_t i = 0; i < state.history.size(); ++i) {
+    seed.prior_attempts[i] = state.history[i].attempts;
+  }
+  // Fold the scan's verdict back into the journal: a valid fragment is
+  // what "done" means on resume, whatever the crashed driver last wrote
+  // ("running" for an in-flight shard, even "done" for a fragment that
+  // has since been corrupted on disk).
+  for (ShardJournalEntry& e : state.history) {
+    if (e.state == "done" || e.state == "running") e.state = "pending";
+  }
+  for (const std::size_t k : scan.done_shards) {
+    state.history[k - 1].state = "done";
+    state.history[k - 1].last_error.clear();
+  }
+  return seed;
+}
+
+SweepJournal::SweepJournal(std::string path, SweepState state)
+    : path_(std::move(path)), state_(std::move(state)) {}
+
+void SweepJournal::write() {
+  if (!write_sweep_state(path_, state_) && !warned_) {
+    log_warn("orch", "sweep journal '%s' is unwritable; this sweep cannot be resumed",
+             path_.c_str());
+    warned_ = true;
+  }
+}
+
+ShardJournalEntry& SweepJournal::entry(std::size_t shard) {
+  DWARN_CHECK(shard >= 1 && shard <= state_.history.size());
+  return state_.history[shard - 1];
+}
+
+void SweepJournal::record_dispatched(std::size_t shard, int total_attempts) {
+  ShardJournalEntry& e = entry(shard);
+  e.state = "running";
+  e.attempts = total_attempts;
+  write();
+}
+
+void SweepJournal::record_done(std::size_t shard) {
+  ShardJournalEntry& e = entry(shard);
+  e.state = "done";
+  e.last_error.clear();
+  write();
+}
+
+void SweepJournal::record_failed(std::size_t shard, int total_attempts,
+                                 std::string error, bool abandoned) {
+  ShardJournalEntry& e = entry(shard);
+  e.state = abandoned ? "abandoned" : "pending";
+  e.attempts = total_attempts;
+  e.last_error = std::move(error);
+  write();
+}
+
+}  // namespace dwarn::orch

@@ -1,0 +1,142 @@
+// Crash-safe sweep-state journal for resumable orchestrated sweeps.
+//
+// SWEEP_<bench>.state.json records the identity of one sweep — grid name,
+// expansion size, grid fingerprint, shard layout, seed count, strategy —
+// plus each shard's attempt history. The driver rewrites it atomically
+// (write-to-temp + rename, the same idiom snapshot writes use) when the
+// sweep starts and after every dispatch, completion and failure, so a
+// driver SIGKILLed at any instant leaves either the previous or the next
+// *complete* journal on disk, never a torn one.
+//
+// On resume the journal is the identity check: a plan whose fingerprint,
+// shard count, seed count or strategy differs from the recorded sweep is
+// refused with a diagnostic rather than silently re-merged. The fragments
+// themselves stay the ground truth for which shards are already done —
+// resume trusts a fragment because it validates against the plan (the
+// same checks the MergeStage applies), not because the journal says so,
+// which is what makes the scheme safe against a driver that died between
+// a fragment landing and the journal recording it.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "orchestrator/work_unit.hpp"
+
+namespace dwarn::orch {
+
+/// One shard's journaled history: its latest recorded lifecycle state
+/// ("pending" | "running" | "done" | "abandoned") and cumulative attempt
+/// count across every driver invocation of the sweep.
+struct ShardJournalEntry {
+  std::size_t shard = 0;  ///< 1-based, equals its position + 1
+  std::string state = "pending";
+  int attempts = 0;
+  std::string last_error;
+
+  friend bool operator==(const ShardJournalEntry&, const ShardJournalEntry&) = default;
+};
+
+/// The journal document: sweep identity plus per-shard history.
+struct SweepState {
+  std::string bench;
+  std::size_t grid_size = 0;
+  std::string fingerprint;
+  std::size_t shards = 1;
+  std::size_t seeds = 1;
+  ShardStrategy strategy = ShardStrategy::Contiguous;
+  std::size_t jobs = 1;  ///< informational — resume may change --jobs
+  std::vector<ShardJournalEntry> history;  ///< size == shards
+
+  friend bool operator==(const SweepState&, const SweepState&) = default;
+};
+
+/// "SWEEP_<bench>.state.json"
+[[nodiscard]] std::string sweep_state_filename(std::string_view bench);
+
+/// A fresh journal for `plan`: every shard pending with zero attempts.
+[[nodiscard]] SweepState make_initial_state(const DispatchPlan& plan);
+
+/// Serialize the journal document.
+[[nodiscard]] std::string sweep_state_json(const SweepState& state);
+
+/// Strict parse of a journal document. Throws std::runtime_error naming
+/// the defect on corrupt or torn input (bad JSON, missing keys, history
+/// size disagreeing with the shard count, unknown states...).
+[[nodiscard]] SweepState parse_sweep_state(std::string_view json_text);
+
+/// Load `path`. Missing file → nullopt with `error` empty (nothing to
+/// resume); unreadable/corrupt/torn → nullopt with `error` set. A
+/// journal must never be half-trusted: it either parses strictly or the
+/// caller refuses to resume.
+[[nodiscard]] std::optional<SweepState> load_sweep_state(const std::string& path,
+                                                         std::string& error);
+
+/// Atomic write (temp + rename). False with a stderr warning on failure.
+bool write_sweep_state(const std::string& path, const SweepState& state);
+
+/// "" when `state` describes the same sweep as `plan`; otherwise a
+/// diagnostic naming the first mismatched field (fingerprint, shard
+/// count, grid size, seeds, strategy or bench). `jobs` is deliberately
+/// not compared — resuming with different parallelism is legal.
+[[nodiscard]] std::string validate_sweep_state(const SweepState& state,
+                                               const DispatchPlan& plan);
+
+/// What a resume scan of the out-dir found: which shards already have a
+/// fragment that validates against the plan (skipped on dispatch), plus
+/// one human-readable note per shard that must (re-)run.
+struct ResumeScan {
+  std::vector<std::size_t> done_shards;  ///< 1-based, ascending
+  std::vector<std::string> notes;        ///< missing/invalid-fragment log lines
+};
+
+/// Check every planned fragment path with the MergeStage's own fragment
+/// validation (fingerprint, shard header, grid indices). Never throws:
+/// an unreadable fragment is simply not done and will be re-dispatched
+/// (its rewrite is atomic, so the torn file is harmlessly replaced).
+[[nodiscard]] ResumeScan scan_fragments(const DispatchPlan& plan);
+
+/// What the Scheduler needs to know when resuming: shards to pre-mark
+/// Done, and each shard's attempt count from earlier driver invocations.
+struct ResumeSeed {
+  std::vector<std::size_t> done_shards;  ///< 1-based
+  std::vector<int> prior_attempts;       ///< [k-1] = shard k's past attempts
+};
+
+/// Build the scheduler seed from a scan + the loaded journal, and fold
+/// the scan back into `state` (shards with a valid fragment are recorded
+/// "done" so the rewritten journal matches what resume will skip).
+[[nodiscard]] ResumeSeed seed_resume(const ResumeScan& scan, SweepState& state);
+
+/// Owns the journal file for one driver invocation: holds the current
+/// SweepState and atomically rewrites the whole file after every
+/// recorded event. Best-effort on I/O failure (warns once) — a sweep
+/// must not die because its journal is unwritable; only resumability is
+/// lost.
+class SweepJournal {
+ public:
+  SweepJournal(std::string path, SweepState state);
+
+  /// Rewrite the file from the current state (atomic temp + rename).
+  void write();
+
+  void record_dispatched(std::size_t shard, int total_attempts);
+  void record_done(std::size_t shard);
+  void record_failed(std::size_t shard, int total_attempts, std::string error,
+                     bool abandoned);
+
+  [[nodiscard]] const SweepState& state() const { return state_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  [[nodiscard]] ShardJournalEntry& entry(std::size_t shard);
+
+  std::string path_;
+  SweepState state_;
+  bool warned_ = false;
+};
+
+}  // namespace dwarn::orch

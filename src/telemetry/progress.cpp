@@ -119,10 +119,27 @@ std::vector<ProgressEvent> read_progress(const std::string& path) {
   while (pos < text.size()) {
     const std::size_t nl = text.find('\n', pos);
     if (nl == std::string::npos) break;  // torn final line: ignore
-    const std::string_view line(text.data() + pos, nl - pos);
+    std::string_view line(text.data() + pos, nl - pos);
     pos = nl + 1;
     if (line.empty()) continue;
-    if (const auto ev = parse_progress_line(line)) events.push_back(*ev);
+    if (const auto ev = parse_progress_line(line)) {
+      events.push_back(*ev);
+      continue;
+    }
+    // A worker killed mid-write leaves a torn line with no newline; the
+    // next attempt's O_APPEND write then lands on the same line, so the
+    // torn prefix and a *complete* event share one physical line. That
+    // appended event must still count (attempts = "start" events across
+    // restarts), so re-sync on the next '{"ev":' inside the garbage.
+    while (!line.empty()) {
+      const std::size_t brace = line.find("{\"ev\":", 1);
+      if (brace == std::string_view::npos) break;
+      line.remove_prefix(brace);
+      if (const auto ev = parse_progress_line(line)) {
+        events.push_back(*ev);
+        break;
+      }
+    }
   }
   return events;
 }

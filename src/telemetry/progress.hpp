@@ -66,7 +66,11 @@ class ProgressWriter {
 
 /// Read every complete event line of `path`. A trailing partial line
 /// (no '\n' — a writer caught mid-append) is ignored, as are blank or
-/// unparseable lines; a missing file reads as empty.
+/// unparseable lines; a missing file reads as empty. A line whose prefix
+/// is garbage but which *contains* a parseable event still yields it: a
+/// worker killed mid-write leaves a torn, unterminated line that the next
+/// attempt's O_APPEND write lands on, and that appended event must not be
+/// swallowed (attempt counts survive driver and worker restarts).
 [[nodiscard]] std::vector<ProgressEvent> read_progress(const std::string& path);
 
 }  // namespace dwarn::telem

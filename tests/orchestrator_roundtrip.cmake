@@ -3,7 +3,12 @@
 # `smt_orchestrate run --grid fig1` over subprocess workers — with one
 # worker SIGKILLed mid-run via the SMT_ORCH_FAULT_KILL env hook — must
 # retry the killed shard and produce a merged snapshot byte-identical to
-# the single-process `smt_shard run --bench fig1`. Invoked as
+# the single-process `smt_shard run --bench fig1`. A second sweep has its
+# *driver* SIGKILLed after one shard lands (--fault-driver-kill), then
+# `smt_orchestrate resume` must skip the valid fragment, dispatch only
+# the missing shards, and merge byte-identical too — while stale, torn
+# and absent sweep-state journals are refused with nonzero exits.
+# Invoked as
 #   cmake -DSMT_ORCHESTRATE=<path> -DSMT_SHARD=<path> -DWORK_DIR=<scratch>
 #         -P orchestrator_roundtrip.cmake
 # The ctest registration pins SMT_BENCH_WINDOWS so the fig1 grid stays
@@ -43,10 +48,13 @@ if(EXISTS "${WORK_DIR}/orch/BENCH_fig1.json")
 endif()
 
 # The orchestrated sweep: 3 shards over 2 subprocess workers, shard 2's
-# first attempt killed mid-run by the env fault hook. The sweep must
-# retry it and still converge. Telemetry is on for this leg — the status
-# plane must stream per-shard progress without perturbing a single
-# snapshot byte (the reference run above had telemetry off).
+# first attempt killed mid-run by the env fault hook (immediate kill —
+# the only deterministic flavor here, since a fast shard could beat any
+# armed delay; the delayed/armed path is unit-tested with a pinned-slow
+# worker in test_orchestrator). The sweep must retry it and still
+# converge. Telemetry is on for this leg — the status plane must stream
+# per-shard progress without perturbing a single snapshot byte (the
+# reference run above had telemetry off).
 set(ENV{SMT_ORCH_FAULT_KILL} 2)
 set(ENV{SMT_TELEM} 1)
 run_checked(orch_out "${SMT_ORCHESTRATE}" run --grid fig1 --shards 3 --jobs 2
@@ -139,4 +147,88 @@ if(rc EQUAL 0)
   message(FATAL_ERROR "status exited 0 for a sweep with no fragments")
 endif()
 
+# ---- durable resume ----------------------------------------------------------
+# Kill the *driver* after exactly one shard completes (--jobs 1 makes it
+# deterministic: nothing else is in flight), then resume. Only the two
+# missing shards may dispatch, and the merged snapshot must still be
+# byte-identical to the single-process reference.
+execute_process(COMMAND "${SMT_ORCHESTRATE}" run --grid fig1 --shards 3 --jobs 1
+                --out-dir "${WORK_DIR}/resume" --smt-shard "${SMT_SHARD}"
+                --fault-driver-kill 1
+                RESULT_VARIABLE kill_rc OUTPUT_VARIABLE kill_out ERROR_VARIABLE kill_err)
+if(kill_rc EQUAL 0)
+  message(FATAL_ERROR "the injected driver kill did not kill the driver:\n${kill_out}\n${kill_err}")
+endif()
+if(NOT "${kill_out}\n${kill_err}" MATCHES "FAULT: killing driver")
+  message(FATAL_ERROR "driver-kill fault hook never fired:\n${kill_out}\n${kill_err}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/resume/SWEEP_fig1.state.json")
+  message(FATAL_ERROR "killed driver left no sweep-state journal")
+endif()
+if(NOT EXISTS "${WORK_DIR}/resume/BENCH_fig1.shard1of3.json")
+  message(FATAL_ERROR "shard 1's fragment should have landed before the driver died")
+endif()
+if(EXISTS "${WORK_DIR}/resume/BENCH_fig1.shard2of3.json")
+  message(FATAL_ERROR "shard 2 should never have dispatched with --jobs 1")
+endif()
+if(EXISTS "${WORK_DIR}/resume/BENCH_fig1.json")
+  message(FATAL_ERROR "a killed sweep must not have merged")
+endif()
+
+# status on the interrupted sweep: incomplete (nonzero), but the journal
+# already feeds the attempt column for the finished shard.
+execute_process(COMMAND "${SMT_ORCHESTRATE}" status --grid fig1 --shards 3
+                --out-dir "${WORK_DIR}/resume"
+                RESULT_VARIABLE status_rc OUTPUT_QUIET ERROR_QUIET)
+if(status_rc EQUAL 0)
+  message(FATAL_ERROR "status exited 0 for the interrupted sweep")
+endif()
+
+run_checked(resume_out "${SMT_ORCHESTRATE}" resume --grid fig1 --shards 3 --jobs 2
+            --out-dir "${WORK_DIR}/resume" --smt-shard "${SMT_SHARD}")
+if(NOT resume_out MATCHES "skipped \\(resume\\)")
+  message(FATAL_ERROR "resume did not skip the already-valid fragment:\n${resume_out}")
+endif()
+if(resume_out MATCHES "dispatch shard 1/3")
+  message(FATAL_ERROR "resume re-dispatched a shard whose fragment was valid:\n${resume_out}")
+endif()
+if(NOT resume_out MATCHES "dispatch shard 2/3" OR NOT resume_out MATCHES "dispatch shard 3/3")
+  message(FATAL_ERROR "resume did not dispatch the missing shards:\n${resume_out}")
+endif()
+execute_process(COMMAND "${CMAKE_COMMAND}" -E compare_files
+                "${WORK_DIR}/single/BENCH_fig1.json" "${WORK_DIR}/resume/BENCH_fig1.json"
+                RESULT_VARIABLE resume_same)
+if(NOT resume_same EQUAL 0)
+  message(FATAL_ERROR "resumed merged snapshot is NOT byte-identical to the "
+                      "single-process run")
+endif()
+
+# Stale journal: the same out-dir resumed under a different plan (seed
+# count changes the sweep identity) must be refused, exit nonzero.
+execute_process(COMMAND "${SMT_ORCHESTRATE}" resume --grid fig1 --shards 3 --seeds 2
+                --out-dir "${WORK_DIR}/resume" --smt-shard "${SMT_SHARD}"
+                RESULT_VARIABLE stale_rc OUTPUT_VARIABLE stale_out ERROR_VARIABLE stale_err)
+if(stale_rc EQUAL 0 OR NOT "${stale_out}\n${stale_err}" MATCHES "cannot resume: sweep state records")
+  message(FATAL_ERROR "a stale sweep state was not refused (rc=${stale_rc}):\n${stale_out}\n${stale_err}")
+endif()
+
+# Corrupt/torn journal: refused with a parse diagnostic, exit nonzero.
+file(MAKE_DIRECTORY "${WORK_DIR}/corrupt")
+file(WRITE "${WORK_DIR}/corrupt/SWEEP_fig1.state.json" "{ torn")
+execute_process(COMMAND "${SMT_ORCHESTRATE}" resume --grid fig1 --shards 3
+                --out-dir "${WORK_DIR}/corrupt" --smt-shard "${SMT_SHARD}"
+                RESULT_VARIABLE torn_rc OUTPUT_VARIABLE torn_out ERROR_VARIABLE torn_err)
+if(torn_rc EQUAL 0 OR NOT "${torn_out}\n${torn_err}" MATCHES "invalid sweep state")
+  message(FATAL_ERROR "a torn sweep state was not refused (rc=${torn_rc}):\n${torn_out}\n${torn_err}")
+endif()
+
+# No journal at all: nothing to resume, exit nonzero with a clear hint.
+execute_process(COMMAND "${SMT_ORCHESTRATE}" resume --grid fig1 --shards 3
+                --out-dir "${WORK_DIR}/fresh" --smt-shard "${SMT_SHARD}"
+                RESULT_VARIABLE none_rc OUTPUT_VARIABLE none_out ERROR_VARIABLE none_err)
+if(none_rc EQUAL 0 OR NOT "${none_out}\n${none_err}" MATCHES "nothing to resume")
+  message(FATAL_ERROR "resume with no sweep state was not refused (rc=${none_rc}):\n${none_out}\n${none_err}")
+endif()
+
 message(STATUS "orchestrated fig1 sweep (1 injected kill, retried) == single-process (bitwise)")
+message(STATUS "driver-killed fig1 sweep resumed (1 shard skipped, 2 dispatched) == single-process (bitwise)")

@@ -7,6 +7,9 @@
 // intervals (sampling observes, never steers).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -186,6 +189,25 @@ TEST(Progress, TornFinalLineIsIgnored) {
   EXPECT_EQ(events[0].ev, "start");
 }
 
+TEST(Progress, EventAppendedAfterATornLineStillCounts) {
+  // A worker SIGKILLed mid-write leaves a torn line with no newline; the
+  // next attempt's O_APPEND "start" then lands on the *same* physical
+  // line. That start must still be counted (attempts survive restarts).
+  const auto path = (temp_dir() / "torn_restart.progress.jsonl").string();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << R"({"ev":"start","shard":1,"shards":1,"total":4,"wall_ms":0.0})" << "\n";
+    out << R"({"ev":"run","done":2,"total":4,"ins)";  // killed mid-write
+    out << R"({"ev":"start","shard":1,"shards":1,"total":4,"wall_ms":0.0})" << "\n";
+    out << R"({"ev":"run","done":1,"total":4,"insts":7,"wall_ms":3.0})" << "\n";
+  }
+  const auto events = telem::read_progress(path);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].ev, "start");  // recovered from the glued physical line
+  EXPECT_EQ(events[2].ev, "run");
+  EXPECT_EQ(events[2].done, 1u);
+}
+
 TEST(Progress, MalformedCompleteLinesAreSkippedAndMissingFileIsEmpty) {
   const auto path = (temp_dir() / "junk.progress.jsonl").string();
   {
@@ -258,6 +280,29 @@ TEST(Log, PrefixCarriesTimestampThreadAndLevel) {
   EXPECT_EQ(p.front(), '[');
   EXPECT_NE(p.find(" t="), std::string::npos);
   EXPECT_NE(p.find(" info] orch: "), std::string::npos);
+}
+
+TEST(Log, EmittedLineIsPureTextEndingInNewline) {
+  // Logs are grep'd by the roundtrip scripts and CI; a stray byte after
+  // the newline (e.g. a NUL from over-sized buffer write) makes grep
+  // treat the whole stream as binary.
+  const auto path = temp_dir() / "captured_stderr.txt";
+  ::fflush(stderr);
+  const int saved = ::dup(2);
+  ASSERT_GE(saved, 0);
+  FILE* const redirect = ::freopen(path.c_str(), "w", stderr);
+  ASSERT_NE(redirect, nullptr);
+  log_warn("test", "hello %d %s", 42, "world");
+  ::fflush(stderr);
+  ::dup2(saved, 2);
+  ::close(saved);
+  std::ifstream in(path, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_EQ(bytes.find('\0'), std::string::npos);
+  EXPECT_EQ(bytes.back(), '\n');
+  EXPECT_NE(bytes.find(" warn] test: hello 42 world\n"), std::string::npos);
 }
 
 // ---- config / filenames ------------------------------------------------------

@@ -7,7 +7,18 @@
 //           backoff, then merge the fragments into the canonical
 //           BENCH_<grid>.json — refusing any fingerprint or partition
 //           violation. --dry-run prints the dispatch plan as JSON and
-//           exits without running anything.
+//           exits without running anything. Every run journals its
+//           identity and per-shard attempt history to
+//           SWEEP_<grid>.state.json (atomic rewrites), so a driver
+//           killed mid-sweep leaves a resumable record.
+//   resume  (= run --resume) continue a sweep whose driver died: load and
+//           validate the sweep-state journal against this invocation's
+//           plan, re-validate every fragment on disk with the merge
+//           stage's own checks, dispatch only the shards still missing,
+//           and merge. Refuses — with a diagnostic and exit 1 — a journal
+//           that is corrupt or records a different sweep (fingerprint,
+//           shard count, seeds, strategy). The resumed merge is
+//           byte-identical to an uninterrupted run's.
 //   status  inspect an out-dir against the plan: which fragments exist
 //           and validate, which are missing or stale, whether the merged
 //           snapshot is present — plus, when workers streamed progress
@@ -24,8 +35,10 @@
 // crashes and retries (docs/orchestrator.md).
 //
 // Fault-injection hooks for CI and tests (also via SMT_ORCH_FAULT_KILL /
-// SMT_ORCH_FAULT_ATTEMPT): --fault-kill K kills shard K's first attempt
-// mid-run, exercising the retry path.
+// SMT_ORCH_FAULT_ATTEMPT / SMT_ORCH_FAULT_DRIVER_KILL): --fault-kill K
+// kills shard K's first attempt mid-run, exercising the retry path;
+// --fault-driver-kill N SIGKILLs this driver after N shards complete,
+// exercising the resume path.
 //
 // Exit codes: 0 ok, 1 sweep or merge failure, 2 usage or I/O error.
 #include <chrono>
@@ -43,9 +56,11 @@
 #include "engine/grid_registry.hpp"
 #include "engine/result_store.hpp"
 #include "engine/shard.hpp"
+#include "common/log.hpp"
 #include "orchestrator/launcher.hpp"
 #include "orchestrator/merge_stage.hpp"
 #include "orchestrator/scheduler.hpp"
+#include "orchestrator/sweep_state.hpp"
 #include "orchestrator/work_unit.hpp"
 #include "sim/report.hpp"
 #include "telemetry/phase_trace.hpp"
@@ -69,8 +84,9 @@ int usage(const char* error = nullptr) {
                "      [--shards N] [--jobs J] [--retries R] [--seeds S]\n"
                "      [--strategy contiguous|strided] [--out-dir DIR]\n"
                "      [--backend subprocess|thread] [--smt-shard PATH]\n"
-               "      [--timeout-sec T] [--backoff-ms B] [--dry-run]\n"
-               "      [--fault-kill K] [--fault-attempt A]\n"
+               "      [--timeout-sec T] [--backoff-ms B] [--dry-run] [--resume]\n"
+               "      [--fault-kill K] [--fault-attempt A] [--fault-driver-kill N]\n"
+               "  smt_orchestrate resume --grid <%s> [same flags as run]\n"
                "  smt_orchestrate status --grid <%s>\n"
                "      [--shards N] [--seeds S] [--strategy contiguous|strided]\n"
                "      [--out-dir DIR] [--json] [--follow] [--poll-ms P]\n"
@@ -79,15 +95,20 @@ int usage(const char* error = nullptr) {
                "run drives every shard of the grid to a merged, validated\n"
                "BENCH_<grid>.json: J workers in flight, failed shards retried R\n"
                "times with exponential backoff, fragments merged only when they\n"
-               "form a clean partition with the plan's grid fingerprint.\n"
-               "--dry-run prints the dispatch plan as JSON. status reports which\n"
-               "fragments of the plan exist, validate, or are stale — with live\n"
-               "per-shard progress when workers stream it (SMT_TELEM=1); it\n"
-               "exits 0 only when every fragment is ok and the merged snapshot\n"
-               "exists. --json prints the same status as JSON; --follow\n"
-               "re-renders every --poll-ms (or SMT_ORCH_POLL_MS) until complete\n"
-               "or --timeout-sec elapses.\n",
-               grids.c_str(), grids.c_str());
+               "form a clean partition with the plan's grid fingerprint. Attempt\n"
+               "history is journaled to SWEEP_<grid>.state.json as the sweep\n"
+               "runs. resume (or run --resume) continues after a driver crash:\n"
+               "shards whose fragment already validates are skipped, only the\n"
+               "missing ones dispatch, and the merge is byte-identical to an\n"
+               "uninterrupted run. A corrupt journal, or one recording a\n"
+               "different sweep, is refused. --dry-run prints the dispatch plan\n"
+               "as JSON. status reports which fragments of the plan exist,\n"
+               "validate, or are stale — with live per-shard progress when\n"
+               "workers stream it (SMT_TELEM=1); it exits 0 only when every\n"
+               "fragment is ok and the merged snapshot exists. --json prints\n"
+               "the same status as JSON; --follow re-renders every --poll-ms\n"
+               "(or SMT_ORCH_POLL_MS) until complete or --timeout-sec elapses.\n",
+               grids.c_str(), grids.c_str(), grids.c_str());
   return 2;
 }
 
@@ -98,6 +119,7 @@ struct Options {
   std::string backend = "subprocess";
   std::string smt_shard;  ///< worker binary; "" = next to this binary
   bool dry_run = false;
+  bool resume = false;  ///< `resume` subcommand or run --resume
   bool status_json = false;    ///< status --json
   bool status_follow = false;  ///< status --follow
   std::chrono::seconds status_timeout{0};  ///< --follow cap; 0 = none
@@ -135,6 +157,45 @@ int run_sweep(const Options& opt, const char* argv0) {
       return 2;
     }
   }
+
+  // The sweep-state journal: identity check + attempt history, rewritten
+  // atomically on every recorded event. The fragments on disk — not this
+  // file — are the ground truth for which shards are done.
+  const std::string state_path = plan.out_dir + orch::sweep_state_filename(plan.bench);
+  orch::SweepState state;
+  std::optional<orch::ResumeSeed> seed;
+  if (opt.resume) {
+    std::string load_error;
+    std::optional<orch::SweepState> prior = orch::load_sweep_state(state_path, load_error);
+    if (!prior) {
+      if (load_error.empty()) {
+        std::fprintf(stderr,
+                     "smt_orchestrate: nothing to resume: no sweep state at '%s' "
+                     "(run without --resume to start fresh)\n",
+                     state_path.c_str());
+      } else {
+        std::fprintf(stderr, "smt_orchestrate: cannot resume: %s\n", load_error.c_str());
+      }
+      return 1;
+    }
+    const std::string mismatch = orch::validate_sweep_state(*prior, plan);
+    if (!mismatch.empty()) {
+      std::fprintf(stderr, "smt_orchestrate: cannot resume: %s\n", mismatch.c_str());
+      return 1;
+    }
+    // Fragments are re-validated with the merge stage's own checks; the
+    // journal's "done" claims are never trusted on their own.
+    const orch::ResumeScan scan = orch::scan_fragments(plan);
+    for (const std::string& note : scan.notes) log_info("orch", "%s", note.c_str());
+    state = *prior;
+    seed = orch::seed_resume(scan, state);
+    log_info("orch", "resume: %zu/%zu shard fragment(s) already valid on disk",
+             seed->done_shards.size(), plan.shards);
+  } else {
+    state = orch::make_initial_state(plan);
+  }
+  orch::SweepJournal journal(state_path, std::move(state));
+  journal.write();
 
   std::unique_ptr<orch::Launcher> launcher;
   if (opt.backend == "subprocess") {
@@ -191,7 +252,8 @@ int run_sweep(const Options& opt, const char* argv0) {
   orch::SweepOutcome sweep;
   {
     telem::PhaseSpan span("dispatch", "{\"shards\":" + std::to_string(plan.shards) + "}");
-    sweep = orch::Scheduler(*launcher, opt.sched).run(plan);
+    sweep = orch::Scheduler(*launcher, opt.sched)
+                .run(plan, seed ? &*seed : nullptr, &journal);
   }
   if (!sweep.ok) {
     for (const orch::ShardOutcome& s : sweep.shards) {
@@ -227,6 +289,7 @@ struct ShardStatus {
   bool ok = false;
   bool has_progress = false;
   int attempts = 0;         ///< number of "start" events (append-mode file)
+  int journal_attempts = 0; ///< cumulative attempts per the sweep-state journal
   std::size_t done = 0;     ///< runs finished in the latest attempt
   std::size_t total = 0;
   std::uint64_t insts = 0;  ///< committed instructions so far
@@ -242,6 +305,8 @@ struct SweepStatus {
   std::size_t complete = 0;
   std::string merged_path;
   bool merged_present = false;
+  std::string state_path;
+  bool state_present = false;  ///< a sweep-state journal loaded and matched
 
   [[nodiscard]] bool all_done() const {
     return complete == shards.size() && merged_present;
@@ -277,34 +342,34 @@ SweepStatus collect_status(const orch::DispatchPlan& plan) {
   sweep.grid_size = plan.grid_size;
   sweep.fingerprint = plan.fingerprint;
   sweep.merged_path = plan.merged_path();
+  sweep.state_path = plan.out_dir + orch::sweep_state_filename(plan.bench);
+  // The journal is advisory here (attempt history for shards whose
+  // workers never streamed progress); a journal for a *different* sweep
+  // is ignored rather than reported as this plan's history.
+  std::optional<orch::SweepState> journal;
+  {
+    std::string err;
+    journal = orch::load_sweep_state(sweep.state_path, err);
+    if (journal && !orch::validate_sweep_state(*journal, plan).empty()) journal.reset();
+    sweep.state_present = journal.has_value();
+  }
   const std::filesystem::path dir(plan.out_dir);
   for (const orch::WorkUnit& unit : plan.units) {
     ShardStatus s;
     s.index = unit.shard.index;
     s.fragment = unit.fragment_path();
-    if (!std::filesystem::exists(s.fragment)) {
-      s.state = "missing";
+    // The merge stage's own validation — status can never call a
+    // fragment "ok" that the merge (or a resume) would refuse.
+    const orch::FragmentCheck check = orch::check_fragment_file(unit, plan.fingerprint);
+    if (check.ok) {
+      s.state = "ok (" + std::to_string(check.runs) + " runs)";
+      s.ok = true;
+      ++sweep.complete;
     } else {
-      try {
-        const analysis::Snapshot frag = analysis::load_snapshot(s.fragment);
-        if (!frag.shard) {
-          s.state = "stale: not a fragment";
-        } else if (frag.shard->fingerprint != plan.fingerprint) {
-          s.state = "stale: fingerprint " + frag.shard->fingerprint;
-        } else if (frag.shard->indices != unit.indices) {
-          // The fingerprint is strategy-independent, so a sweep run with
-          // the other --strategy (or another shard count) can match it
-          // while covering different grid indices than this plan expects.
-          // (The loader already guarantees indices and runs agree in size.)
-          s.state = "stale: different grid indices (strategy/shard mismatch?)";
-        } else {
-          s.state = "ok (" + std::to_string(frag.runs.size()) + " runs)";
-          s.ok = true;
-          ++sweep.complete;
-        }
-      } catch (const std::exception&) {
-        s.state = "stale: unreadable";
-      }
+      s.state = check.error;
+    }
+    if (journal && unit.shard.index <= journal->history.size()) {
+      s.journal_attempts = journal->history[unit.shard.index - 1].attempts;
     }
     apply_progress(s, telem::read_progress(
                           (dir / telem::progress_filename(plan.bench, unit.shard.index,
@@ -349,8 +414,12 @@ void render_status_table(const SweepStatus& sweep, std::ostream& os) {
                    s.has_progress
                        ? std::to_string(s.done) + "/" + std::to_string(s.total)
                        : "-",
-                   s.has_progress ? std::to_string(s.attempts) : "-", fmt_throughput(s),
-                   fmt_eta(s)});
+                   // Without streamed progress the sweep-state journal still
+                   // knows how many attempts the shard has consumed.
+                   s.has_progress         ? std::to_string(s.attempts)
+                   : s.journal_attempts > 0 ? std::to_string(s.journal_attempts)
+                                            : "-",
+                   fmt_throughput(s), fmt_eta(s)});
   }
   table.print(os);
   os << sweep.complete << "/" << sweep.shards.size()
@@ -366,6 +435,8 @@ std::string render_status_json(const SweepStatus& sweep) {
   out += "  \"complete\": " + std::to_string(sweep.complete) + ",\n";
   out += "  \"merged\": {\"path\": \"" + json_escape(sweep.merged_path) +
          "\", \"present\": " + (sweep.merged_present ? "true" : "false") + "},\n";
+  out += "  \"sweep_state\": {\"path\": \"" + json_escape(sweep.state_path) +
+         "\", \"present\": " + (sweep.state_present ? "true" : "false") + "},\n";
   out += "  \"shards\": [";
   for (std::size_t i = 0; i < sweep.shards.size(); ++i) {
     const ShardStatus& s = sweep.shards[i];
@@ -373,6 +444,9 @@ std::string render_status_json(const SweepStatus& sweep) {
     out += "\n    {\"index\": " + std::to_string(s.index) + ", \"fragment\": \"" +
            json_escape(s.fragment) + "\", \"state\": \"" + json_escape(s.state) +
            "\", \"ok\": " + (s.ok ? "true" : "false");
+    if (s.journal_attempts > 0) {
+      out += ", \"journaled_attempts\": " + std::to_string(s.journal_attempts);
+    }
     if (s.has_progress) {
       char wall[32];
       std::snprintf(wall, sizeof wall, "%.1f", s.wall_ms);
@@ -417,11 +491,14 @@ int main(int argc, char** argv) {
   const std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return usage();
   const std::string& cmd = args[0];
-  if (cmd != "run" && cmd != "status") {
+  if (cmd != "run" && cmd != "resume" && cmd != "status") {
     return usage(("unknown command '" + cmd + "'").c_str());
   }
+  // `resume` is `run --resume` under a clearer name; every run flag applies.
+  const bool is_run = cmd == "run" || cmd == "resume";
 
   Options opt;
+  opt.resume = cmd == "resume";
   opt.sched.apply_env();
   try {
     for (std::size_t i = 1; i < args.size(); ++i) {
@@ -448,12 +525,12 @@ int main(int argc, char** argv) {
         const auto n = size_value("--shards", 1, kMaxShards);
         if (!n) return 2;
         opt.plan.shards = *n;
-      } else if (a == "--jobs" && cmd == "run") {
+      } else if (a == "--jobs" && is_run) {
         const auto n = size_value("--jobs", 1, 4096);
         if (!n) return 2;
         opt.plan.jobs = *n;
         opt.sched.jobs = *n;
-      } else if (a == "--retries" && cmd == "run") {
+      } else if (a == "--retries" && is_run) {
         const auto n = size_value("--retries", 0, 100);
         if (!n) return 2;
         opt.sched.retries = static_cast<int>(*n);
@@ -470,13 +547,13 @@ int main(int argc, char** argv) {
         const auto* v = value();
         if (v == nullptr) return usage("--out-dir needs a value");
         opt.plan.out_dir = *v;
-      } else if (a == "--backend" && cmd == "run") {
+      } else if (a == "--backend" && is_run) {
         const auto* v = value();
         if (v == nullptr || (*v != "subprocess" && *v != "thread")) {
           return usage("--backend must be subprocess or thread");
         }
         opt.backend = *v;
-      } else if (a == "--smt-shard" && cmd == "run") {
+      } else if (a == "--smt-shard" && is_run) {
         const auto* v = value();
         if (v == nullptr) return usage("--smt-shard needs a path");
         opt.smt_shard = *v;
@@ -484,7 +561,7 @@ int main(int argc, char** argv) {
         const auto n = size_value("--timeout-sec", 0, 86'400);
         if (!n) return 2;
         // run: per-attempt wall cap; status --follow: total follow cap.
-        if (cmd == "run") {
+        if (is_run) {
           opt.sched.timeout = std::chrono::seconds(*n);
         } else {
           opt.status_timeout = std::chrono::seconds(*n);
@@ -497,20 +574,26 @@ int main(int argc, char** argv) {
         opt.status_json = true;
       } else if (a == "--follow" && cmd == "status") {
         opt.status_follow = true;
-      } else if (a == "--backoff-ms" && cmd == "run") {
+      } else if (a == "--backoff-ms" && is_run) {
         const auto n = size_value("--backoff-ms", 0, 600'000);
         if (!n) return 2;
         opt.sched.backoff_base = std::chrono::milliseconds(*n);
-      } else if (a == "--dry-run" && cmd == "run") {
+      } else if (a == "--dry-run" && is_run) {
         opt.dry_run = true;
-      } else if (a == "--fault-kill" && cmd == "run") {
+      } else if (a == "--resume" && is_run) {
+        opt.resume = true;
+      } else if (a == "--fault-kill" && is_run) {
         const auto n = size_value("--fault-kill", 1, kMaxShards);
         if (!n) return 2;
         opt.sched.fault_kill_shard = *n;
-      } else if (a == "--fault-attempt" && cmd == "run") {
+      } else if (a == "--fault-attempt" && is_run) {
         const auto n = size_value("--fault-attempt", 1, 1000);
         if (!n) return 2;
         opt.sched.fault_kill_attempt = static_cast<int>(*n);
+      } else if (a == "--fault-driver-kill" && is_run) {
+        const auto n = size_value("--fault-driver-kill", 1, kMaxShards);
+        if (!n) return 2;
+        opt.sched.fault_driver_kill_after = *n;
       } else {
         return usage(("unknown option '" + a + "' for " + cmd).c_str());
       }
@@ -527,7 +610,7 @@ int main(int argc, char** argv) {
       opt.plan.jobs = opt.plan.shards;
       opt.sched.jobs = opt.plan.shards;
     }
-    return cmd == "run" ? run_sweep(opt, argv[0]) : run_status(opt);
+    return is_run ? run_sweep(opt, argv[0]) : run_status(opt);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "smt_orchestrate: %s\n", e.what());
     return 2;
