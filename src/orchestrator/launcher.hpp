@@ -19,6 +19,10 @@
 //                       cannot be mutated per worker) and cannot preempt
 //                       a running simulation — kill() only marks the job
 //                       abandoned.
+//
+// A third backend, RemoteLauncher (remote_launcher.hpp), dispatches the
+// same units to a fleet of hosts through a pluggable exec template
+// (ssh/docker exec/srun/test shim) with per-host slot accounting.
 #pragma once
 
 #include <atomic>
@@ -61,6 +65,22 @@ class Launcher {
   virtual void kill(JobId id) = 0;
 
   [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Whether `unit` could start right now. Backends with finite capacity
+  /// (per-host slots) return false to make the Scheduler wait for a slot
+  /// instead of burning one of the shard's retry attempts on a refusal.
+  [[nodiscard]] virtual bool can_start(const WorkUnit& unit) const {
+    (void)unit;
+    return true;
+  }
+
+  /// Which host/executor runs job `id` — attribution for logs and the
+  /// sweep journal. "" when the backend has no meaningful answer (local
+  /// backends). Valid from start() until the terminal poll.
+  [[nodiscard]] virtual std::string job_host(JobId id) const {
+    (void)id;
+    return {};
+  }
 };
 
 /// Local subprocess pool backend: re-execs `smt_shard run` per unit.

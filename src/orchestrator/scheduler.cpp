@@ -110,6 +110,12 @@ SweepOutcome Scheduler::run(const DispatchPlan& plan, const ResumeSeed* resume,
       const int attempt = total_attempts(*next) + 1;
       unit.inject_fault = opt_.fault_kill_shard == *next &&
                           attempt == opt_.fault_kill_attempt;
+      if (!launcher_->can_start(unit)) {
+        // Finite-capacity backend (remote slots) with no acceptable slot
+        // right now: wait for the next poll round rather than burning one
+        // of the shard's retry attempts on a refusal.
+        break;
+      }
       const std::optional<JobId> job = launcher_->start(unit);
       if (!job) {
         // Count a spawn failure like any failed attempt: it gets the
@@ -120,12 +126,14 @@ SweepOutcome Scheduler::run(const DispatchPlan& plan, const ResumeSeed* resume,
         continue;
       }
       tracker.on_dispatched(*next, *job, now);
-      if (journal != nullptr) journal->record_dispatched(*next, attempt);
+      const std::string host = launcher_->job_host(*job);
+      if (journal != nullptr) journal->record_dispatched(*next, attempt, host);
       if (opt_.verbose) {
-        log_info("orch", "dispatch shard %zu/%zu attempt %d (%zu runs, %s job %llu%s)",
+        log_info("orch", "dispatch shard %zu/%zu attempt %d (%zu runs, %s job %llu%s%s%s)",
                  *next, plan.shards, attempt, unit.indices.size(),
                  std::string(launcher_->name()).c_str(),
                  static_cast<unsigned long long>(*job),
+                 host.empty() ? "" : " on ", host.c_str(),
                  unit.inject_fault ? ", injected fault" : "");
       }
     }

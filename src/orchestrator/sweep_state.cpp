@@ -45,14 +45,27 @@ std::string sweep_state_json(const SweepState& state) {
      << "    \"shards\": " << state.shards << ",\n"
      << "    \"seeds\": " << state.seeds << ",\n"
      << "    \"strategy\": \"" << to_string(state.strategy) << "\",\n"
-     << "    \"jobs\": " << state.jobs << "\n"
-     << "  },\n"
+     << "    \"jobs\": " << state.jobs;
+  // Optional keys stay absent when empty so journals written by older
+  // drivers and journals for local backends read identically.
+  if (!state.backend.empty()) {
+    os << ",\n    \"backend\": \"" << json_escape(state.backend) << "\"";
+  }
+  os << "\n  },\n"
      << "  \"shards\": [";
   for (std::size_t i = 0; i < state.history.size(); ++i) {
     const ShardJournalEntry& e = state.history[i];
     os << (i == 0 ? "" : ",") << "\n    {\"shard\": " << e.shard << ", \"state\": \""
        << json_escape(e.state) << "\", \"attempts\": " << e.attempts
-       << ", \"last_error\": \"" << json_escape(e.last_error) << "\"}";
+       << ", \"last_error\": \"" << json_escape(e.last_error) << "\"";
+    if (!e.hosts.empty()) {
+      os << ", \"hosts\": [";
+      for (std::size_t h = 0; h < e.hosts.size(); ++h) {
+        os << (h == 0 ? "" : ", ") << "\"" << json_escape(e.hosts[h]) << "\"";
+      }
+      os << "]";
+    }
+    os << "}";
   }
   os << "\n  ]\n}\n";
   return os.str();
@@ -81,6 +94,9 @@ SweepState parse_sweep_state(std::string_view json_text) {
     state.shards = as_size(sweep.at("shards"), "shards");
     state.seeds = as_size(sweep.at("seeds"), "seeds");
     state.jobs = as_size(sweep.at("jobs"), "jobs");
+    if (const json::Value* backend = sweep.find("backend")) {
+      state.backend = backend->as_string();
+    }
     const std::string& strategy = sweep.at("strategy").as_string();
     const auto parsed = shard_strategy_from_name(strategy);
     if (!parsed) throw std::runtime_error("unknown strategy '" + strategy + "'");
@@ -111,6 +127,11 @@ SweepState parse_sweep_state(std::string_view json_text) {
       }
       e.attempts = static_cast<int>(as_size(arr[i].at("attempts"), "attempts"));
       e.last_error = arr[i].at("last_error").as_string();
+      if (const json::Value* hosts = arr[i].find("hosts")) {
+        for (const json::Value& h : hosts->as_array()) {
+          e.hosts.push_back(h.as_string());
+        }
+      }
       state.history.push_back(std::move(e));
     }
     return state;
@@ -256,10 +277,12 @@ ShardJournalEntry& SweepJournal::entry(std::size_t shard) {
   return state_.history[shard - 1];
 }
 
-void SweepJournal::record_dispatched(std::size_t shard, int total_attempts) {
+void SweepJournal::record_dispatched(std::size_t shard, int total_attempts,
+                                     const std::string& host) {
   ShardJournalEntry& e = entry(shard);
   e.state = "running";
   e.attempts = total_attempts;
+  if (!host.empty()) e.hosts.push_back(host);
   write();
 }
 

@@ -36,6 +36,11 @@ struct ShardJournalEntry {
   std::string state = "pending";
   int attempts = 0;
   std::string last_error;
+  /// Host attribution, one entry per dispatched attempt that named a host
+  /// (remote backend; local backends record nothing). `hosts[i]` is where
+  /// attempt i+1 of the attributed attempts ran — `status --json` reports
+  /// it so "which host ran (and failed) which shard" survives the driver.
+  std::vector<std::string> hosts;
 
   friend bool operator==(const ShardJournalEntry&, const ShardJournalEntry&) = default;
 };
@@ -49,6 +54,10 @@ struct SweepState {
   std::size_t seeds = 1;
   ShardStrategy strategy = ShardStrategy::Contiguous;
   std::size_t jobs = 1;  ///< informational — resume may change --jobs
+  /// Launcher backend name ("subprocess" | "thread" | "remote"). Like
+  /// `jobs`, informational: resume may legally switch backends (a sweep
+  /// started remotely can finish locally), so validation ignores it.
+  std::string backend;
   std::vector<ShardJournalEntry> history;  ///< size == shards
 
   friend bool operator==(const SweepState&, const SweepState&) = default;
@@ -123,7 +132,10 @@ class SweepJournal {
   /// Rewrite the file from the current state (atomic temp + rename).
   void write();
 
-  void record_dispatched(std::size_t shard, int total_attempts);
+  /// `host` ("" for local backends) is appended to the shard's host
+  /// attribution list when non-empty.
+  void record_dispatched(std::size_t shard, int total_attempts,
+                         const std::string& host = "");
   void record_done(std::size_t shard);
   void record_failed(std::size_t shard, int total_attempts, std::string error,
                      bool abandoned);

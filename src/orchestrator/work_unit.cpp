@@ -151,4 +151,34 @@ std::string dispatch_plan_json(const DispatchPlan& plan, const std::string& back
   return os.str();
 }
 
+std::string matrix_json(const DispatchPlan& plan) {
+  std::ostringstream os;
+  os << "{\"include\": [";
+  for (std::size_t i = 0; i < plan.units.size(); ++i) {
+    const WorkUnit& u = plan.units[i];
+    const std::vector<std::string> argv = smt_shard_argv(u, "");
+    std::string args;
+    for (std::size_t a = 1; a < argv.size(); ++a) {  // [0] is the binary slot
+      args += (a == 1 ? "" : " ") + argv[a];
+    }
+    std::string env;
+    for (const auto& [k, v] : u.env) {
+      if (k == "SMT_SIM_WORKERS" || k == "SMT_TRACE_CACHE_MB") continue;
+      env += (env.empty() ? "" : " ") + k + "=" + v;
+    }
+    os << (i == 0 ? "" : ", ")
+       << "{\"shard\": " << u.shard.index
+       << ", \"shards\": " << u.shard.count
+       << ", \"name\": " << json_string(u.bench + "-shard" +
+                                        std::to_string(u.shard.index) + "of" +
+                                        std::to_string(u.shard.count))
+       << ", \"args\": " << json_string(args)
+       << ", \"env\": " << json_string(env)
+       << ", \"fragment\": " << json_string(u.fragment_path())
+       << ", \"fingerprint\": " << json_string(plan.fingerprint) << "}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
 }  // namespace dwarn::orch

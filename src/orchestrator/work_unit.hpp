@@ -95,4 +95,22 @@ struct DispatchPlan {
                                              const std::string& backend,
                                              const std::string& smt_shard_binary);
 
+/// The plan as a GitHub Actions matrix (`smt_orchestrate matrix`): one
+/// compact line `{"include": [...]}` ready for `fromJSON` fan-out. Each
+/// include entry is flat strings/ints (matrix values must be scalars):
+///   shard, shards   1-based index and total
+///   name            "<bench>-shard<K>of<N>" — job display name
+///   args            `smt_shard run ...` arguments after the binary,
+///                   space-joined (no argument the planner emits needs
+///                   shell quoting)
+///   env             space-joined K=V assignments for the runner. The
+///                   per-host split vars (SMT_SIM_WORKERS,
+///                   SMT_TRACE_CACHE_MB) are dropped — every matrix leg
+///                   owns a whole runner — while the bitwise-identity
+///                   vars (SMT_BENCH_ZERO_WALL) are kept.
+///   fragment        the fragment filename the leg must upload
+///   fingerprint     grid fingerprint, so the merge job can assert every
+///                   leg planned the same grid
+[[nodiscard]] std::string matrix_json(const DispatchPlan& plan);
+
 }  // namespace dwarn::orch

@@ -1,0 +1,49 @@
+#!/bin/sh
+# fake_ssh.sh <host> <cmd> — an ssh stand-in for RemoteLauncher tests.
+#
+# Slots into the exec-template seam ("/path/to/fake_ssh.sh {host} {cmd}")
+# and runs <cmd> in a local shell while pretending to be <host>, so a
+# multi-"host" remote sweep runs entirely on localhost. Two failure modes
+# impersonate a dying fleet member, both exiting 255 the way a real ssh
+# client reports a transport failure:
+#
+#   FAKE_SSH_DEAD_HOST=<host>          connections to <host> are refused
+#                                      outright (host down before dispatch)
+#   ...plus FAKE_SSH_DIE_AFTER_MS=<ms> the connection opens, the command
+#                                      starts, and the link drops mid-run
+#                                      — the worker is killed with its
+#                                      whole process group so no orphan
+#                                      keeps writing into the temp dir
+#
+# Every other host executes the command verbatim (exec, so the shim's pid
+# IS the worker session and a SIGKILL from the launcher kills the session
+# exactly like closing a real connection).
+host="$1"
+cmd="$2"
+if [ -z "$host" ] || [ -z "$cmd" ]; then
+  echo "fake-ssh: usage: fake_ssh.sh <host> <cmd>" >&2
+  exit 2
+fi
+
+if [ -n "$FAKE_SSH_DEAD_HOST" ] && [ "$host" = "$FAKE_SSH_DEAD_HOST" ]; then
+  if [ -n "$FAKE_SSH_DIE_AFTER_MS" ]; then
+    if command -v setsid >/dev/null 2>&1; then
+      setsid sh -c "$cmd" &
+    else
+      sh -c "$cmd" &
+    fi
+    child=$!
+    seconds=$(awk "BEGIN{printf \"%.3f\", $FAKE_SSH_DIE_AFTER_MS / 1000}")
+    sleep "$seconds" 2>/dev/null || sleep 1
+    # Group kill first (covers the worker the shell spawned); fall back to
+    # the direct child where setsid/group kill is unavailable.
+    kill -KILL -"$child" 2>/dev/null || kill -KILL "$child" 2>/dev/null
+    wait "$child" 2>/dev/null
+    echo "fake-ssh: connection to $host lost" >&2
+    exit 255
+  fi
+  echo "fake-ssh: connect to host $host port 22: Connection refused" >&2
+  exit 255
+fi
+
+exec sh -c "$cmd"

@@ -1,0 +1,147 @@
+# ctest driver: the remote fabric acceptance contract, end to end at the CLI.
+#
+# `smt_orchestrate run --backend remote` over three fake-ssh "hosts" on
+# localhost — with one host's connection dying mid-run via the shim's
+# FAKE_SSH_DEAD_HOST/FAKE_SSH_DIE_AFTER_MS hooks — must retry the lost
+# shard on a surviving host and produce a merged snapshot byte-identical
+# to the single-process `smt_shard run --bench fig1`. The sweep journal
+# must attribute every attempt to its host, `status --json` must surface
+# the backend and the attribution, and malformed fleet configuration
+# (--hosts, --exec-template) must be refused with a diagnostic. Invoked as
+#   cmake -DSMT_ORCHESTRATE=<path> -DSMT_SHARD=<path> -DFAKE_SSH=<shim>
+#         -DWORK_DIR=<scratch> -P remote_roundtrip.cmake
+# The ctest registration pins SMT_BENCH_WINDOWS so the fig1 grid stays
+# small; the driver re-exports it inline in every remote command, so the
+# "remote" workers see the same grid fingerprint.
+#
+# Required: SMT_ORCHESTRATE, SMT_SHARD, FAKE_SSH, WORK_DIR.
+
+if(NOT DEFINED SMT_ORCHESTRATE OR NOT DEFINED SMT_SHARD OR NOT DEFINED FAKE_SSH
+   OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DSMT_ORCHESTRATE=... -DSMT_SHARD=... -DFAKE_SSH=... -DWORK_DIR=... -P remote_roundtrip.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run_checked out_var)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGN}\n${out}\n${err}")
+  endif()
+  set(${out_var} "${out}\n${err}" PARENT_SCOPE)
+endfunction()
+
+set(template "${FAKE_SSH} {host} {cmd}")
+
+# The single-process reference snapshot.
+run_checked(ref_out "${SMT_SHARD}" run --bench fig1 --out "${WORK_DIR}/single")
+
+# ---- the healthy fleet -------------------------------------------------------
+# 3 shards over 3 one-slot hosts: every shard must run on its own host and
+# the journal must attribute each to the host that ran it.
+run_checked(orch_out "${SMT_ORCHESTRATE}" run --grid fig1 --shards 3 --jobs 3
+            --backend remote --hosts "alpha,beta,gamma"
+            --exec-template "${template}" --remote-shard "${SMT_SHARD}"
+            --out-dir "${WORK_DIR}/fleet" --smt-shard "${SMT_SHARD}")
+if(NOT orch_out MATCHES "3 remote workers")
+  message(FATAL_ERROR "the sweep did not run on the remote backend:\n${orch_out}")
+endif()
+execute_process(COMMAND "${CMAKE_COMMAND}" -E compare_files
+                "${WORK_DIR}/single/BENCH_fig1.json" "${WORK_DIR}/fleet/BENCH_fig1.json"
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "remote merged snapshot is NOT byte-identical to the "
+                      "single-process run")
+endif()
+file(READ "${WORK_DIR}/fleet/SWEEP_fig1.state.json" journal)
+if(NOT journal MATCHES "\"backend\": \"remote\"")
+  message(FATAL_ERROR "journal does not record the remote backend:\n${journal}")
+endif()
+foreach(host alpha beta gamma)
+  if(NOT journal MATCHES "\"hosts\": \\[\"${host}\"\\]")
+    message(FATAL_ERROR "journal does not attribute a shard to ${host}:\n${journal}")
+  endif()
+endforeach()
+
+# ---- mid-sweep host death ----------------------------------------------------
+# beta's connection opens, its worker starts, and the link drops mid-run
+# (exit 255, worker's process group killed). The lost shard must retry on
+# a *surviving* host — never back on beta while alpha/gamma are healthy —
+# and the merge must still be byte-identical.
+set(ENV{FAKE_SSH_DEAD_HOST} beta)
+set(ENV{FAKE_SSH_DIE_AFTER_MS} 100)
+run_checked(death_out "${SMT_ORCHESTRATE}" run --grid fig1 --shards 3 --jobs 3
+            --retries 2 --backoff-ms 50
+            --backend remote --hosts "alpha,beta,gamma"
+            --exec-template "${template}" --remote-shard "${SMT_SHARD}"
+            --out-dir "${WORK_DIR}/death" --smt-shard "${SMT_SHARD}")
+unset(ENV{FAKE_SSH_DEAD_HOST})
+unset(ENV{FAKE_SSH_DIE_AFTER_MS})
+
+if(NOT death_out MATCHES "host 'beta': exit code 255")
+  message(FATAL_ERROR "the dead host's failure did not surface with attribution:\n${death_out}")
+endif()
+if(NOT death_out MATCHES "retry in")
+  message(FATAL_ERROR "the lost shard was not retried:\n${death_out}")
+endif()
+execute_process(COMMAND "${CMAKE_COMMAND}" -E compare_files
+                "${WORK_DIR}/single/BENCH_fig1.json" "${WORK_DIR}/death/BENCH_fig1.json"
+                RESULT_VARIABLE death_same)
+if(NOT death_same EQUAL 0)
+  message(FATAL_ERROR "host-death merged snapshot is NOT byte-identical to the "
+                      "single-process run")
+endif()
+# The journal's attribution shows the failover: one shard ran on beta
+# first and then on a survivor.
+file(READ "${WORK_DIR}/death/SWEEP_fig1.state.json" death_journal)
+if(NOT death_journal MATCHES "\"hosts\": \\[\"beta\", \"(alpha|gamma)\"\\]")
+  message(FATAL_ERROR "journal does not show the beta->survivor failover:\n${death_journal}")
+endif()
+
+# status --json surfaces the backend and the per-shard host attribution.
+run_checked(status_json "${SMT_ORCHESTRATE}" status --grid fig1 --shards 3
+            --out-dir "${WORK_DIR}/death" --json)
+if(NOT status_json MATCHES "\"backend\": \"remote\"")
+  message(FATAL_ERROR "status --json lost the backend:\n${status_json}")
+endif()
+if(NOT status_json MATCHES "\"hosts\": \\[\"beta\", \"(alpha|gamma)\"\\]")
+  message(FATAL_ERROR "status --json lost the host attribution:\n${status_json}")
+endif()
+# ...and the table view names the host that finally ran each shard.
+run_checked(status_table "${SMT_ORCHESTRATE}" status --grid fig1 --shards 3
+            --out-dir "${WORK_DIR}/death")
+if(NOT status_table MATCHES "host" OR NOT status_table MATCHES "backend remote")
+  message(FATAL_ERROR "status table lost the host/backend columns:\n${status_table}")
+endif()
+
+# ---- fleet-configuration hardening -------------------------------------------
+# Every malformed fleet spec must be refused before anything dispatches.
+function(expect_refused expected_match)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(rc EQUAL 0 OR NOT "${out}\n${err}" MATCHES "${expected_match}")
+    message(FATAL_ERROR "bad fleet config was not refused (rc=${rc}, wanted '${expected_match}'):\n${out}\n${err}")
+  endif()
+endfunction()
+
+expect_refused("host list is empty"
+               "${SMT_ORCHESTRATE}" run --grid fig1 --backend remote
+               --out-dir "${WORK_DIR}/bad")
+expect_refused("slot count out of"
+               "${SMT_ORCHESTRATE}" run --grid fig1 --backend remote
+               --hosts "alpha:0" --out-dir "${WORK_DIR}/bad")
+expect_refused("listed twice"
+               "${SMT_ORCHESTRATE}" run --grid fig1 --backend remote
+               --hosts "alpha,alpha" --out-dir "${WORK_DIR}/bad")
+expect_refused("no \\{cmd\\} placeholder"
+               "${SMT_ORCHESTRATE}" run --grid fig1 --backend remote
+               --hosts "alpha" --exec-template "ssh {host}"
+               --out-dir "${WORK_DIR}/bad")
+if(EXISTS "${WORK_DIR}/bad")
+  message(FATAL_ERROR "a refused sweep still created its out-dir")
+endif()
+
+message(STATUS "remote fig1 sweep over 3 fake-ssh hosts == single-process (bitwise)")
+message(STATUS "host-death sweep failed over beta -> survivor and merged bitwise-identical")

@@ -3,7 +3,10 @@
 //   run     expand a registered grid into a shard DispatchPlan, execute
 //           every shard over a pool of workers (subprocess pool re-execing
 //           `smt_shard run` by default; --backend thread for an
-//           in-process pool), retry failed shards with exponential
+//           in-process pool; --backend remote to dispatch over a host
+//           fleet from --hosts/SMT_ORCH_HOSTS via a pluggable exec
+//           template — see docs/orchestrator.md), retry failed shards
+//           with exponential
 //           backoff, then merge the fragments into the canonical
 //           BENCH_<grid>.json — refusing any fingerprint or partition
 //           violation. --dry-run prints the dispatch plan as JSON and
@@ -19,6 +22,11 @@
 //           that is corrupt or records a different sweep (fingerprint,
 //           shard count, seeds, strategy). The resumed merge is
 //           byte-identical to an uninterrupted run's.
+//   matrix  render the shard plan as a GitHub Actions matrix: one compact
+//           `{"include": [...]}` line with shard index, `smt_shard run`
+//           arguments, environment, fragment filename and grid
+//           fingerprint per leg — the CI workflow fans out with
+//           `fromJSON` instead of hand-written shard jobs.
 //   status  inspect an out-dir against the plan: which fragments exist
 //           and validate, which are missing or stale, whether the merged
 //           snapshot is present — plus, when workers streamed progress
@@ -43,6 +51,7 @@
 // Exit codes: 0 ok, 1 sweep or merge failure, 2 usage or I/O error.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <memory>
@@ -59,6 +68,7 @@
 #include "common/log.hpp"
 #include "orchestrator/launcher.hpp"
 #include "orchestrator/merge_stage.hpp"
+#include "orchestrator/remote_launcher.hpp"
 #include "orchestrator/scheduler.hpp"
 #include "orchestrator/sweep_state.hpp"
 #include "orchestrator/work_unit.hpp"
@@ -83,10 +93,15 @@ int usage(const char* error = nullptr) {
                "  smt_orchestrate run    --grid <%s>\n"
                "      [--shards N] [--jobs J] [--retries R] [--seeds S]\n"
                "      [--strategy contiguous|strided] [--out-dir DIR]\n"
-               "      [--backend subprocess|thread] [--smt-shard PATH]\n"
+               "      [--backend subprocess|thread|remote] [--smt-shard PATH]\n"
+               "      [--hosts H1[:S1],H2[:S2],...] [--exec-template T]\n"
+               "      [--remote-shard PATH]\n"
                "      [--timeout-sec T] [--backoff-ms B] [--dry-run] [--resume]\n"
                "      [--fault-kill K] [--fault-attempt A] [--fault-driver-kill N]\n"
                "  smt_orchestrate resume --grid <%s> [same flags as run]\n"
+               "  smt_orchestrate matrix --grid <%s>\n"
+               "      [--shards N] [--seeds S] [--strategy contiguous|strided]\n"
+               "      [--out-dir DIR]\n"
                "  smt_orchestrate status --grid <%s>\n"
                "      [--shards N] [--seeds S] [--strategy contiguous|strided]\n"
                "      [--out-dir DIR] [--json] [--follow] [--poll-ms P]\n"
@@ -102,13 +117,21 @@ int usage(const char* error = nullptr) {
                "missing ones dispatch, and the merge is byte-identical to an\n"
                "uninterrupted run. A corrupt journal, or one recording a\n"
                "different sweep, is refused. --dry-run prints the dispatch plan\n"
-               "as JSON. status reports which fragments of the plan exist,\n"
+               "as JSON. --backend remote dispatches shards to the hosts in\n"
+               "--hosts (or SMT_ORCH_HOSTS) through --exec-template (default\n"
+               "'%s'; SMT_ORCH_EXEC_TEMPLATE),\n"
+               "running --remote-shard (default: the local smt_shard path;\n"
+               "SMT_ORCH_REMOTE_SHARD) on each host and streaming fragments\n"
+               "back over the connection. matrix prints the plan as a GitHub\n"
+               "Actions `{\"include\": [...]}` object for fromJSON fan-out.\n"
+               "status reports which fragments of the plan exist,\n"
                "validate, or are stale — with live per-shard progress when\n"
                "workers stream it (SMT_TELEM=1); it exits 0 only when every\n"
                "fragment is ok and the merged snapshot exists. --json prints\n"
                "the same status as JSON; --follow re-renders every --poll-ms\n"
                "(or SMT_ORCH_POLL_MS) until complete or --timeout-sec elapses.\n",
-               grids.c_str(), grids.c_str(), grids.c_str());
+               grids.c_str(), grids.c_str(), grids.c_str(), grids.c_str(),
+               std::string(orch::kDefaultExecTemplate).c_str());
   return 2;
 }
 
@@ -118,6 +141,11 @@ struct Options {
   orch::SchedulerOptions sched;
   std::string backend = "subprocess";
   std::string smt_shard;  ///< worker binary; "" = next to this binary
+  // Remote backend (--backend remote). Flags win over SMT_ORCH_HOSTS /
+  // SMT_ORCH_EXEC_TEMPLATE / SMT_ORCH_REMOTE_SHARD.
+  std::string hosts_text;          ///< "host[:slots],host[:slots],..."
+  std::string exec_template_text;  ///< "" = kDefaultExecTemplate
+  std::string remote_shard;        ///< smt_shard path on the hosts; "" = local path
   bool dry_run = false;
   bool resume = false;  ///< `resume` subcommand or run --resume
   bool status_json = false;    ///< status --json
@@ -137,10 +165,50 @@ std::string default_smt_shard_path(const char* argv0) {
 }
 
 int run_sweep(const Options& opt, const char* argv0) {
-  const orch::DispatchPlan plan = orch::make_dispatch_plan(opt.plan);
-
   std::string smt_shard = opt.smt_shard;
   if (smt_shard.empty()) smt_shard = default_smt_shard_path(argv0);
+
+  orch::PlanRequest plan_req = opt.plan;
+  orch::SchedulerOptions sched = opt.sched;
+
+  // The remote fleet is parsed before planning: its slot counts bound the
+  // in-flight jobs, and the per-worker env split divides per *host* (a
+  // host runs at most its own slots concurrently), not across the fleet.
+  std::optional<orch::RemoteLauncher::Options> remote;
+  if (opt.backend == "remote") {
+    std::string err;
+    const auto hosts = orch::parse_hosts(opt.hosts_text, err);
+    if (!hosts) {
+      std::fprintf(stderr, "smt_orchestrate: --hosts/SMT_ORCH_HOSTS: %s\n", err.c_str());
+      return 2;
+    }
+    const std::string tmpl_text = opt.exec_template_text.empty()
+                                      ? std::string(orch::kDefaultExecTemplate)
+                                      : opt.exec_template_text;
+    const auto tmpl = orch::parse_exec_template(tmpl_text, err);
+    if (!tmpl) {
+      std::fprintf(stderr, "smt_orchestrate: --exec-template/SMT_ORCH_EXEC_TEMPLATE: %s\n",
+                   err.c_str());
+      return 2;
+    }
+    remote.emplace();
+    remote->hosts = *hosts;
+    remote->exec = *tmpl;
+    remote->remote_shard = opt.remote_shard.empty() ? smt_shard : opt.remote_shard;
+    remote->fail_limit =
+        static_cast<int>(env_u64("SMT_ORCH_HOST_FAIL_LIMIT", 1, 1000).value_or(2));
+
+    std::size_t total_slots = 0;
+    std::size_t widest_host = 1;
+    for (const orch::HostSpec& h : remote->hosts) {
+      total_slots += h.slots;
+      widest_host = std::max(widest_host, h.slots);
+    }
+    sched.jobs = std::min(sched.jobs, total_slots);
+    plan_req.jobs = std::min(plan_req.jobs, widest_host);
+  }
+
+  const orch::DispatchPlan plan = orch::make_dispatch_plan(plan_req);
 
   if (opt.dry_run) {
     std::cout << orch::dispatch_plan_json(
@@ -194,11 +262,16 @@ int run_sweep(const Options& opt, const char* argv0) {
   } else {
     state = orch::make_initial_state(plan);
   }
-  orch::SweepJournal journal(state_path, std::move(state));
-  journal.write();
-
   std::unique_ptr<orch::Launcher> launcher;
-  if (opt.backend == "subprocess") {
+  if (opt.backend == "remote") {
+    if (!orch::RemoteLauncher::supported()) {
+      std::fprintf(stderr,
+                   "smt_orchestrate: no fork/exec on this platform; "
+                   "--backend remote is unavailable\n");
+      return 2;
+    }
+    launcher = std::make_unique<orch::RemoteLauncher>(std::move(*remote));
+  } else if (opt.backend == "subprocess") {
     if (!orch::SubprocessLauncher::supported()) {
       std::fprintf(stderr,
                    "smt_orchestrate: no fork/exec on this platform; "
@@ -221,10 +294,16 @@ int run_sweep(const Options& opt, const char* argv0) {
     launcher = std::make_unique<orch::InProcessLauncher>();
   }
 
+  // The journal records which backend drove the sweep — informational,
+  // like jobs: resume may switch backends, and the latest invocation wins.
+  state.backend = std::string(launcher->name());
+  orch::SweepJournal journal(state_path, std::move(state));
+  journal.write();
+
   std::cout << "grid " << plan.bench << ": " << plan.grid_size << " runs, fingerprint "
             << plan.fingerprint << ", " << plan.shards << " shard"
-            << (plan.shards == 1 ? "" : "s") << " over " << plan.jobs << " "
-            << launcher->name() << " worker" << (plan.jobs == 1 ? "" : "s")
+            << (plan.shards == 1 ? "" : "s") << " over " << sched.jobs << " "
+            << launcher->name() << " worker" << (sched.jobs == 1 ? "" : "s")
             << ", trace cache " << trace_cache_mode_string() << "\n";
 
   // SMT_TELEM=1: the orchestrator records its own phase trace (dispatch,
@@ -252,7 +331,7 @@ int run_sweep(const Options& opt, const char* argv0) {
   orch::SweepOutcome sweep;
   {
     telem::PhaseSpan span("dispatch", "{\"shards\":" + std::to_string(plan.shards) + "}");
-    sweep = orch::Scheduler(*launcher, opt.sched)
+    sweep = orch::Scheduler(*launcher, sched)
                 .run(plan, seed ? &*seed : nullptr, &journal);
   }
   if (!sweep.ok) {
@@ -290,6 +369,9 @@ struct ShardStatus {
   bool has_progress = false;
   int attempts = 0;         ///< number of "start" events (append-mode file)
   int journal_attempts = 0; ///< cumulative attempts per the sweep-state journal
+  /// Journaled host attribution: hosts[i] ran attributed attempt i+1
+  /// (remote backend only; empty for local sweeps).
+  std::vector<std::string> hosts;
   std::size_t done = 0;     ///< runs finished in the latest attempt
   std::size_t total = 0;
   std::uint64_t insts = 0;  ///< committed instructions so far
@@ -307,6 +389,7 @@ struct SweepStatus {
   bool merged_present = false;
   std::string state_path;
   bool state_present = false;  ///< a sweep-state journal loaded and matched
+  std::string backend;         ///< journaled launcher backend ("" if unrecorded)
 
   [[nodiscard]] bool all_done() const {
     return complete == shards.size() && merged_present;
@@ -352,6 +435,7 @@ SweepStatus collect_status(const orch::DispatchPlan& plan) {
     journal = orch::load_sweep_state(sweep.state_path, err);
     if (journal && !orch::validate_sweep_state(*journal, plan).empty()) journal.reset();
     sweep.state_present = journal.has_value();
+    if (journal) sweep.backend = journal->backend;
   }
   const std::filesystem::path dir(plan.out_dir);
   for (const orch::WorkUnit& unit : plan.units) {
@@ -370,6 +454,7 @@ SweepStatus collect_status(const orch::DispatchPlan& plan) {
     }
     if (journal && unit.shard.index <= journal->history.size()) {
       s.journal_attempts = journal->history[unit.shard.index - 1].attempts;
+      s.hosts = journal->history[unit.shard.index - 1].hosts;
     }
     apply_progress(s, telem::read_progress(
                           (dir / telem::progress_filename(plan.bench, unit.shard.index,
@@ -406,8 +491,10 @@ std::string fmt_eta(const ShardStatus& s) {
 
 void render_status_table(const SweepStatus& sweep, std::ostream& os) {
   os << "grid " << sweep.bench << ": " << sweep.grid_size << " runs, fingerprint "
-     << sweep.fingerprint << "\n";
-  ReportTable table({"shard", "fragment", "state", "progress", "attempt", "rate", "eta"});
+     << sweep.fingerprint
+     << (sweep.backend.empty() ? "" : ", backend " + sweep.backend) << "\n";
+  ReportTable table(
+      {"shard", "fragment", "state", "progress", "attempt", "host", "rate", "eta"});
   for (const ShardStatus& s : sweep.shards) {
     table.add_row({std::to_string(s.index) + "/" + std::to_string(sweep.shards.size()),
                    s.fragment, s.state,
@@ -419,6 +506,9 @@ void render_status_table(const SweepStatus& sweep, std::ostream& os) {
                    s.has_progress         ? std::to_string(s.attempts)
                    : s.journal_attempts > 0 ? std::to_string(s.journal_attempts)
                                             : "-",
+                   // The latest attributed host — the full per-attempt
+                   // history lives in --json.
+                   s.hosts.empty() ? "-" : s.hosts.back(),
                    fmt_throughput(s), fmt_eta(s)});
   }
   table.print(os);
@@ -437,6 +527,9 @@ std::string render_status_json(const SweepStatus& sweep) {
          "\", \"present\": " + (sweep.merged_present ? "true" : "false") + "},\n";
   out += "  \"sweep_state\": {\"path\": \"" + json_escape(sweep.state_path) +
          "\", \"present\": " + (sweep.state_present ? "true" : "false") + "},\n";
+  if (!sweep.backend.empty()) {
+    out += "  \"backend\": \"" + json_escape(sweep.backend) + "\",\n";
+  }
   out += "  \"shards\": [";
   for (std::size_t i = 0; i < sweep.shards.size(); ++i) {
     const ShardStatus& s = sweep.shards[i];
@@ -446,6 +539,13 @@ std::string render_status_json(const SweepStatus& sweep) {
            "\", \"ok\": " + (s.ok ? "true" : "false");
     if (s.journal_attempts > 0) {
       out += ", \"journaled_attempts\": " + std::to_string(s.journal_attempts);
+    }
+    if (!s.hosts.empty()) {
+      out += ", \"hosts\": [";
+      for (std::size_t h = 0; h < s.hosts.size(); ++h) {
+        out += (h == 0 ? "" : ", ") + ("\"" + json_escape(s.hosts[h]) + "\"");
+      }
+      out += "]";
     }
     if (s.has_progress) {
       char wall[32];
@@ -491,7 +591,7 @@ int main(int argc, char** argv) {
   const std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return usage();
   const std::string& cmd = args[0];
-  if (cmd != "run" && cmd != "resume" && cmd != "status") {
+  if (cmd != "run" && cmd != "resume" && cmd != "status" && cmd != "matrix") {
     return usage(("unknown command '" + cmd + "'").c_str());
   }
   // `resume` is `run --resume` under a clearer name; every run flag applies.
@@ -549,10 +649,22 @@ int main(int argc, char** argv) {
         opt.plan.out_dir = *v;
       } else if (a == "--backend" && is_run) {
         const auto* v = value();
-        if (v == nullptr || (*v != "subprocess" && *v != "thread")) {
-          return usage("--backend must be subprocess or thread");
+        if (v == nullptr || (*v != "subprocess" && *v != "thread" && *v != "remote")) {
+          return usage("--backend must be subprocess, thread or remote");
         }
         opt.backend = *v;
+      } else if (a == "--hosts" && is_run) {
+        const auto* v = value();
+        if (v == nullptr) return usage("--hosts needs a value");
+        opt.hosts_text = *v;
+      } else if (a == "--exec-template" && is_run) {
+        const auto* v = value();
+        if (v == nullptr) return usage("--exec-template needs a value");
+        opt.exec_template_text = *v;
+      } else if (a == "--remote-shard" && is_run) {
+        const auto* v = value();
+        if (v == nullptr) return usage("--remote-shard needs a path");
+        opt.remote_shard = *v;
       } else if (a == "--smt-shard" && is_run) {
         const auto* v = value();
         if (v == nullptr) return usage("--smt-shard needs a path");
@@ -604,11 +716,26 @@ int main(int argc, char** argv) {
       return usage(("unknown --grid '" + opt.grid + "'").c_str());
     }
     opt.plan.bench = opt.grid;
+    if (cmd == "matrix") {
+      std::cout << orch::matrix_json(orch::make_dispatch_plan(opt.plan));
+      return 0;
+    }
     // More job slots than shards would only shrink each worker's thread
     // and cache-budget split for slots that can never fill.
     if (opt.plan.shards < opt.plan.jobs) {
       opt.plan.jobs = opt.plan.shards;
       opt.sched.jobs = opt.plan.shards;
+    }
+    // Remote fleet configuration falls back to the environment so CI and
+    // wrapper scripts can configure a fleet without rewriting command lines.
+    if (opt.backend == "remote") {
+      const auto env_fallback = [](std::string& target, const char* name) {
+        if (!target.empty()) return;
+        if (const char* v = std::getenv(name)) target = v;
+      };
+      env_fallback(opt.hosts_text, "SMT_ORCH_HOSTS");
+      env_fallback(opt.exec_template_text, "SMT_ORCH_EXEC_TEMPLATE");
+      env_fallback(opt.remote_shard, "SMT_ORCH_REMOTE_SHARD");
     }
     return is_run ? run_sweep(opt, argv[0]) : run_status(opt);
   } catch (const std::exception& e) {
