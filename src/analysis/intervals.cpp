@@ -15,6 +15,14 @@ std::uint64_t num_at(const json::Value& v, std::string_view key) {
   return static_cast<std::uint64_t>(v.at(key).as_number());
 }
 
+/// Tolerant read for fields added after PR 7: interval files written by
+/// older builds simply lack them, and the analyzer must keep loading
+/// those (a sweep's telemetry can outlive several schema extensions).
+std::uint64_t num_or(const json::Value& v, std::string_view key, std::uint64_t dflt) {
+  const json::Value* f = v.find(key);
+  return f != nullptr ? static_cast<std::uint64_t>(f->as_number()) : dflt;
+}
+
 telem::IntervalSample parse_sample(const json::Value& v) {
   telem::IntervalSample s;
   s.cycle = num_at(v, "cycle");
@@ -31,6 +39,9 @@ telem::IntervalSample parse_sample(const json::Value& v) {
   s.l2miss = num_at(v, "l2miss");
   s.flush_events = num_at(v, "flush_events");
   s.squashed_flush = num_at(v, "squashed_flush");
+  s.imiss = num_or(v, "imiss", 0);
+  s.itlbmiss = num_or(v, "itlbmiss", 0);
+  s.istall = num_or(v, "istall", 0);
   const json::Array& iq = v.at("iq").as_array();
   if (iq.size() != kNumIssueClasses) {
     throw std::runtime_error("interval sample: iq[] must have one entry per issue class");
@@ -111,6 +122,7 @@ const std::vector<std::string>& interval_counter_names() {
       "ipc",          "dmiss_per_kinst", "l2miss_per_kinst",
       "flush_events", "squashed_flush",  "iq_int",
       "iq_fp",        "iq_ls",           "window",
+      "imiss_per_kinst", "itlbmiss_per_kinst", "ifetch_stall_frac",
   };
   return names;
 }
@@ -132,14 +144,31 @@ std::vector<double> interval_counter_values(const IntervalSeries& s,
       return static_cast<double>(total_committed(b) - total_committed(a)) / dc;
     });
   }
-  if (counter == "dmiss_per_kinst" || counter == "l2miss_per_kinst") {
-    const bool l2 = counter == "l2miss_per_kinst";
-    return deltas(s, [l2](const S& a, const S& b) {
+  if (counter == "dmiss_per_kinst" || counter == "l2miss_per_kinst" ||
+      counter == "imiss_per_kinst" || counter == "itlbmiss_per_kinst") {
+    return deltas(s, [counter](const S& a, const S& b) {
       const double di = static_cast<double>(total_committed(b) - total_committed(a));
       if (di <= 0.0) return 0.0;
-      const double dm = l2 ? static_cast<double>(b.l2miss - a.l2miss)
-                           : static_cast<double>(b.dmiss - a.dmiss);
+      double dm;
+      if (counter == "l2miss_per_kinst") {
+        dm = static_cast<double>(b.l2miss - a.l2miss);
+      } else if (counter == "imiss_per_kinst") {
+        dm = static_cast<double>(b.imiss - a.imiss);
+      } else if (counter == "itlbmiss_per_kinst") {
+        dm = static_cast<double>(b.itlbmiss - a.itlbmiss);
+      } else {
+        dm = static_cast<double>(b.dmiss - a.dmiss);
+      }
       return dm * 1000.0 / di;
+    });
+  }
+  if (counter == "ifetch_stall_frac") {
+    // Stall cycles summed over threads per machine cycle — can exceed 1
+    // when several contexts starve at once.
+    return deltas(s, [](const S& a, const S& b) {
+      const double dc = static_cast<double>(b.cycle) - static_cast<double>(a.cycle);
+      if (dc <= 0.0) return 0.0;
+      return static_cast<double>(b.istall - a.istall) / dc;
     });
   }
   if (counter == "flush_events") {

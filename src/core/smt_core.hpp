@@ -220,7 +220,9 @@ class SmtCore final : public PolicyHost {
   }
   [[nodiscard]] bool sources_ready(const DynInst& d) const;
   [[nodiscard]] Addr iline_of(Addr pc) const {
-    return pc & ~static_cast<Addr>(mem_.config().l1i.line_bytes - 1);
+    // Fetch fragments on the line granularity of whichever instruction
+    // cache actually serves ifetch (modeled subsystem when enabled).
+    return pc & ~static_cast<Addr>(mem_.ifetch_line_bytes() - 1);
   }
 
   CoreConfig cfg_;

@@ -187,6 +187,10 @@ void SmtCore::fetch_from_thread_t(P& pol, ThreadId tid, unsigned& budget) {
       if (out.ready_at > now_) {
         ctx.fetch_stall_until = out.ready_at;
         icache_stall_cycles_.add(out.ready_at - now_);
+        // Instruction-delivery stalls are policy-visible the same way
+        // data misses are: default-empty hook, devirtualized like the
+        // rest of the per-cycle policy calls.
+        pol.on_ifetch_stall(tid, out.ready_at);
         break;
       }
     }

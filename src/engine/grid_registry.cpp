@@ -9,8 +9,9 @@
 namespace dwarn {
 
 const std::vector<std::string>& registered_grids() {
-  static const std::vector<std::string> names = {"fig1", "fig3", "ablation_detect_delay",
-                                                 "fixture"};
+  static const std::vector<std::string> names = {
+      "fig1",        "fig3",        "ablation_detect_delay", "fixture",
+      "fig1_icache", "fig3_icache", "ablation_icache_size",  "fixture_icache"};
   return names;
 }
 
@@ -31,11 +32,43 @@ std::vector<PolicyKind> default_policies(const GridOptions& opt) {
   return {kPaperPolicies.begin(), kPaperPolicies.end()};
 }
 
+/// A baseline machine with the modeled instruction side enabled at `kb`
+/// KiB. Every imem field is set explicitly (not inherited from the
+/// preset) so registered grids are immune to ambient SMT_ICACHE*/
+/// SMT_ITLB* knobs — a sharded run merges bitwise only if every worker
+/// expanded the identical machine.
+MachineSpec icache_machine(std::uint64_t kb) {
+  return machine_variant("baseline+icache" + std::to_string(kb) + "k",
+                         [kb](std::size_t n) {
+                           MachineConfig m = baseline_machine(n);
+                           m.mem.icache = ICacheConfig{.enabled = true,
+                                                       .size_bytes = kb * 1024,
+                                                       .assoc = 2,
+                                                       .line_bytes = 64,
+                                                       .hit_latency = 1,
+                                                       .prefetch_depth = 1,
+                                                       .mshrs = 8};
+                           m.mem.itlb = ITlbConfig{.name = "itlb",
+                                                   .entries = 8,
+                                                   .assoc = 2,
+                                                   .page_bytes = 4096,
+                                                   .walk_cycles = 40};
+                           return m;
+                         });
+}
+
 }  // namespace
 
 const std::vector<Cycle>& detect_delay_variants() {
   static const std::vector<Cycle> delays = {0, 3, 10, 25};
   return delays;
+}
+
+const std::vector<std::uint64_t>& icache_size_variants() {
+  // 4K starves an 8-wide front end outright; 32K nearly covers the
+  // largest synthetic text segment (128K with next-line fetch-ahead).
+  static const std::vector<std::uint64_t> kbs = {4, 8, 16, 32};
+  return kbs;
 }
 
 RunGrid named_grid(std::string_view name, const GridOptions& opt) {
@@ -60,6 +93,49 @@ RunGrid named_grid(std::string_view name, const GridOptions& opt) {
     grid.workloads(ws);
     const auto ps = default_policies(opt);
     grid.policies(ps);
+  } else if (name == "fig1_icache" || name == "fig3_icache") {
+    // The paper's evaluation under instruction-delivery pressure it never
+    // ran: an 8K modeled I-cache (1/8 of the legacy L1I) with a small
+    // I-TLB, so the fetch policies compete for a front end that can
+    // actually starve.
+    grid.machine(icache_machine(8));
+    grid.workloads(default_workloads(opt));
+    grid.policies(default_policies(opt));
+    if (name == "fig3_icache") grid.with_solo_baselines();
+  } else if (name == "ablation_icache_size") {
+    for (const std::uint64_t kb : icache_size_variants()) {
+      grid.machine(icache_machine(kb));
+    }
+    grid.workloads(default_workloads(opt));
+    grid.policies(default_policies(opt));
+  } else if (name == "fixture_icache") {
+    // The icache round-trip fixture: the fixture grid's shape and pinned
+    // RunLength on a deliberately tiny instruction side, so a 2.5K-inst
+    // ctest run still produces nonzero miss/walk/prefetch counters.
+    RunLength len;
+    len.warmup_insts = 500;
+    len.measure_insts = 2000;
+    grid.machine(machine_variant("baseline+icachefix", [](std::size_t n) {
+          MachineConfig m = baseline_machine(n);
+          m.mem.icache = ICacheConfig{.enabled = true,
+                                      .size_bytes = 4 * 1024,
+                                      .assoc = 2,
+                                      .line_bytes = 64,
+                                      .hit_latency = 1,
+                                      .prefetch_depth = 1,
+                                      .mshrs = 4};
+          m.mem.itlb = ITlbConfig{.name = "itlb",
+                                  .entries = 2,
+                                  .assoc = 1,
+                                  .page_bytes = 4096,
+                                  .walk_cycles = 24};
+          return m;
+        }))
+        .workload(workload_by_name("2-MIX"))
+        .workload(workload_by_name("2-MEM"))
+        .policy(PolicyKind::ICount)
+        .policy(PolicyKind::DWarn)
+        .length(len);
   } else if (name == "fixture") {
     // The sharding correctness fixture: small enough for a ctest to run
     // it several times, and with a pinned RunLength so every process —

@@ -32,6 +32,13 @@ struct GridOptions {
 ///   fixture               tiny deterministic 2×2 grid with a hardcoded
 ///                         short RunLength — the sharding round-trip
 ///                         fixture; immune to SMT_SIM_INSTS on purpose
+///   fig1_icache           fig1 on the I-cache-pressure machine (modeled
+///                         8K I-cache + small I-TLB, docs/instruction_side.md)
+///   fig3_icache           fig1_icache plus solo baselines
+///   ablation_icache_size  icache_size_variants() machine variants × grid
+///   fixture_icache        the fixture grid on a tiny modeled instruction
+///                         side — the icache round-trip fixture (pinned
+///                         RunLength, environment-immune like fixture)
 [[nodiscard]] const std::vector<std::string>& registered_grids();
 
 [[nodiscard]] bool is_registered_grid(std::string_view name);
@@ -45,5 +52,10 @@ struct GridOptions {
 /// build its table headers and lookup keys, so bench and grid can never
 /// drift apart.
 [[nodiscard]] const std::vector<Cycle>& detect_delay_variants();
+
+/// The modeled I-cache capacities (KiB) behind ablation_icache_size's
+/// "baseline+icache<kb>k" machine variants; same bench/grid contract as
+/// detect_delay_variants.
+[[nodiscard]] const std::vector<std::uint64_t>& icache_size_variants();
 
 }  // namespace dwarn

@@ -26,6 +26,12 @@ MemoryHierarchy::MemoryHierarchy(const MemoryConfig& cfg, std::size_t num_thread
     tc.name = "dtlb" + std::to_string(t);
     dtlbs_.emplace_back(tc, stats);
   }
+  if (cfg_.icache.enabled) {
+    // Constructed only on opt-in so its "imem." counters never appear in
+    // default snapshots (StatSet snapshots include every created counter).
+    imem_ = std::make_unique<InstMemory>(cfg_.icache, cfg_.itlb, cfg_.l2_latency,
+                                         cfg_.mem_latency, num_threads, l2_, stats);
+  }
 }
 
 LoadOutcome MemoryHierarchy::load(ThreadId tid, Addr addr, Cycle now) {
@@ -98,6 +104,7 @@ void MemoryHierarchy::store(ThreadId tid, Addr addr, Cycle now) {
 }
 
 IFetchOutcome MemoryHierarchy::ifetch(ThreadId tid, Addr addr, Cycle now) {
+  if (imem_) return imem_->fetch(tid, addr, now);
   (void)tid;
   IFetchOutcome out;
   ifetches_.add();
@@ -134,6 +141,7 @@ IFetchOutcome MemoryHierarchy::ifetch(ThreadId tid, Addr addr, Cycle now) {
 void MemoryHierarchy::tick(Cycle now) {
   l1d_mshrs_.expire(now);
   l1i_mshrs_.expire(now);
+  if (imem_) imem_->tick(now);
 }
 
 void MemoryHierarchy::clear_state() {
@@ -143,6 +151,7 @@ void MemoryHierarchy::clear_state() {
   for (auto& t : dtlbs_) t.clear();
   l1d_mshrs_.clear();
   l1i_mshrs_.clear();
+  if (imem_) imem_->clear_state();
 }
 
 }  // namespace dwarn

@@ -24,6 +24,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "mem/cache.hpp"
+#include "mem/icache.hpp"
 #include "mem/mshr.hpp"
 #include "mem/tlb.hpp"
 
@@ -35,6 +36,13 @@ struct MemoryConfig {
   CacheConfig l1d{.name = "l1d", .size_bytes = 64 * 1024, .assoc = 2, .line_bytes = 64, .banks = 8};
   CacheConfig l2{.name = "l2", .size_bytes = 512 * 1024, .assoc = 2, .line_bytes = 64, .banks = 8};
   TlbConfig dtlb{.name = "dtlb", .entries = 128, .assoc = 4, .page_bytes = 8192};
+
+  /// Modeled instruction side (mem/icache.hpp). Disabled by default: the
+  /// fixed-geometry `l1i` above serves ifetch and every pre-subsystem
+  /// snapshot stays byte-identical. When `icache.enabled` is set, ifetch
+  /// routes through an InstMemory built from these two configs instead.
+  ICacheConfig icache{};
+  ITlbConfig itlb{};
 
   Cycle l1_latency = 1;
   Cycle l2_latency = 10;
@@ -56,12 +64,8 @@ struct LoadOutcome {
   bool mshr_merged = false;  ///< coalesced onto an in-flight miss
 };
 
-/// Timing of one instruction-cache line fetch.
-struct IFetchOutcome {
-  Cycle ready_at = 0;  ///< cycle the line can deliver instructions
-  bool l1_hit = true;
-  bool l2_hit = true;  ///< meaningful only when !l1_hit
-};
+// IFetchOutcome lives in mem/icache.hpp (shared by the legacy path here
+// and the modeled InstMemory).
 
 /// The shared memory subsystem of one simulated machine.
 class MemoryHierarchy {
@@ -92,6 +96,16 @@ class MemoryHierarchy {
   [[nodiscard]] const Cache& l1i() const { return l1i_; }
   [[nodiscard]] const Cache& l2() const { return l2_; }
 
+  /// The modeled instruction-side subsystem; nullptr unless
+  /// `config().icache.enabled` (the default, legacy path).
+  [[nodiscard]] const InstMemory* inst_memory() const { return imem_.get(); }
+
+  /// Line granularity the fetch stage fragments on: the modeled I-cache's
+  /// when enabled, the legacy L1I's otherwise.
+  [[nodiscard]] std::uint32_t ifetch_line_bytes() const {
+    return imem_ ? cfg_.icache.line_bytes : cfg_.l1i.line_bytes;
+  }
+
  private:
   MemoryConfig cfg_;
   Cache l1i_;
@@ -100,6 +114,7 @@ class MemoryHierarchy {
   std::vector<Tlb> dtlbs_;  ///< one per hardware context
   MshrFile l1d_mshrs_;
   MshrFile l1i_mshrs_;
+  std::unique_ptr<InstMemory> imem_;  ///< modeled instruction side (opt-in)
 
   Counter& loads_;
   Counter& load_l1_misses_;

@@ -84,7 +84,10 @@ std::string interval_json_line(const IntervalRunId& id, const CounterSampler& sa
            ",\"dmiss\":" + std::to_string(s.dmiss) +
            ",\"l2miss\":" + std::to_string(s.l2miss) +
            ",\"flush_events\":" + std::to_string(s.flush_events) +
-           ",\"squashed_flush\":" + std::to_string(s.squashed_flush) + ',';
+           ",\"squashed_flush\":" + std::to_string(s.squashed_flush) +
+           ",\"imiss\":" + std::to_string(s.imiss) +
+           ",\"itlbmiss\":" + std::to_string(s.itlbmiss) +
+           ",\"istall\":" + std::to_string(s.istall) + ',';
     append_u32_array(out, "iq", s.iq, kNumIssueClasses);
     out += ',';
     append_u32_array(out, "window", s.window, nt);

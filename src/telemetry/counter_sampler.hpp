@@ -34,6 +34,12 @@ struct IntervalSample {
   std::uint64_t l2miss = 0;          ///< committed-path L2 misses
   std::uint64_t flush_events = 0;
   std::uint64_t squashed_flush = 0;
+  // Instruction side. istall accumulates on every run (the legacy L1I
+  // stalls fetch too); imiss/itlbmiss stay 0 unless the modeled
+  // instruction side (mem/icache.hpp) is enabled.
+  std::uint64_t imiss = 0;     ///< demand L1 I-cache misses
+  std::uint64_t itlbmiss = 0;  ///< I-TLB walks
+  std::uint64_t istall = 0;    ///< fetch-stall cycles summed over threads
   std::uint32_t iq[kNumIssueClasses] = {};
   std::uint32_t window[kMaxThreads] = {};
   std::uint32_t num_threads = 0;

@@ -16,6 +16,7 @@
 
 #include "common/thread_pool.hpp"
 #include "engine/experiment_engine.hpp"
+#include "engine/grid_registry.hpp"
 #include "engine/result_store.hpp"
 #include "engine/shard.hpp"
 #include "sim/workload.hpp"
@@ -102,6 +103,22 @@ TEST(DispatchDifferential, DevirtMatchesVirtualWithWarmTraceCache) {
   EXPECT_EQ(run_grid(specs, "1", 4), virtual_ref);
   TraceCache::shared().clear();
   EXPECT_EQ(run_grid(specs, "0", 4), virtual_ref);
+}
+
+TEST(DispatchDifferential, DevirtMatchesVirtualWithIcacheEnabled) {
+  // The modeled instruction side adds a new policy-visible event
+  // (on_ifetch_stall) inside the devirtualized fetch stage; prove both
+  // dispatch modes still simulate the identical machine under I-cache
+  // pressure. fixture_icache is the registry's environment-immune
+  // icache grid (tiny modeled I-cache + 2-entry I-TLB, pinned windows).
+  ScopedEnv cache("SMT_TRACE_CACHE", "0");
+  const std::vector<RunSpec> specs = named_grid("fixture_icache").expand();
+  const std::string virtual_ref = run_grid(specs, "0", 1);
+  EXPECT_EQ(run_grid(specs, "1", 1), virtual_ref);
+  EXPECT_EQ(run_grid(specs, "1", 4), virtual_ref);
+  // Sanity: the runs actually exercised the subsystem.
+  EXPECT_NE(virtual_ref.find("imem.demand_misses"), std::string::npos);
+  EXPECT_NE(virtual_ref.find("imem.itlb_misses"), std::string::npos);
 }
 
 TEST(DispatchDifferential, DevirtMatchesVirtualPerShard) {
